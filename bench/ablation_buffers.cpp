@@ -1,0 +1,10 @@
+// Ablation A2: store-buffer depth sweep (how much of the drop-in write
+// penalty a deeper store buffer absorbs).
+#include "bench_common.hpp"
+#include "sttsim/experiments/figures.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = sttsim::benchcli::parse(argc, argv);
+  return sttsim::benchcli::print_figure(
+      sttsim::experiments::ablation_store_buffer(opts.kernels), opts);
+}

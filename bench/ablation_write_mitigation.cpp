@@ -1,0 +1,9 @@
+// Ablation A4: why the paper targets read latency, not write latency.
+#include "bench_common.hpp"
+#include "sttsim/experiments/figures.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = sttsim::benchcli::parse(argc, argv);
+  return sttsim::benchcli::print_figure(
+      sttsim::experiments::ablation_write_mitigation(opts.kernels), opts);
+}

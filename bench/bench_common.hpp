@@ -1,0 +1,54 @@
+// Shared command-line handling for the figure benches.
+//
+// Usage of every fig binary:
+//   figN [--csv] [--kernels=a,b,c]
+// With no arguments the full 14-kernel suite is run and a fixed-width table
+// (matching the paper figure's bars, plus the AVERAGE bar) is printed.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sttsim/report/figure.hpp"
+
+namespace sttsim::benchcli {
+
+struct Options {
+  bool csv = false;
+  std::vector<std::string> kernels;
+};
+
+inline Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      o.csv = true;
+    } else if (arg.rfind("--kernels=", 0) == 0) {
+      std::string list = arg.substr(10);
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!name.empty()) o.kernels.push_back(name);
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--csv] [--kernels=a,b,c]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+inline int print_figure(const report::FigureData& fig, const Options& o) {
+  std::fputs(o.csv ? report::render_csv(fig).c_str()
+                   : report::render(fig).c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace sttsim::benchcli

@@ -1,0 +1,17 @@
+// A3: energy per kernel + area/iso-capacity report (paper Section VII's
+// qualitative claims made quantitative).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sttsim/experiments/figures.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = sttsim::benchcli::parse(argc, argv);
+  sttsim::benchcli::print_figure(
+      sttsim::experiments::energy_report(opts.kernels), opts);
+  if (!opts.csv) {
+    std::fputs("\n", stdout);
+    std::fputs(sttsim::experiments::area_report().c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates the paper artifact; see src/experiments/figures.hpp.
+#include "bench_common.hpp"
+#include "sttsim/experiments/figures.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = sttsim::benchcli::parse(argc, argv);
+  return sttsim::benchcli::print_figure(
+      sttsim::experiments::fig4_rw_breakdown(opts.kernels), opts);
+}

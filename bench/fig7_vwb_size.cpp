@@ -1,0 +1,14 @@
+// Regenerates the paper artifact; see src/experiments/figures.hpp.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sttsim/experiments/figures.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = sttsim::benchcli::parse(argc, argv);
+  sttsim::benchcli::print_figure(
+      sttsim::experiments::fig7_vwb_size(opts.kernels), opts);
+  if (!opts.csv) std::fputs("\n", stdout);
+  return sttsim::benchcli::print_figure(
+      sttsim::experiments::fig7_vwb_size_optimized(opts.kernels), opts);
+}

@@ -1,0 +1,12 @@
+// A5: endurance projection from measured DL1 wear (Section II's triage).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sttsim/experiments/figures.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = sttsim::benchcli::parse(argc, argv);
+  std::fputs(sttsim::experiments::lifetime_report(opts.kernels).c_str(),
+             stdout);
+  return 0;
+}

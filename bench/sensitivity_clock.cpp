@@ -1,0 +1,9 @@
+// Exploration artifact; see src/experiments/figures.hpp.
+#include "bench_common.hpp"
+#include "sttsim/experiments/figures.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = sttsim::benchcli::parse(argc, argv);
+  return sttsim::benchcli::print_figure(
+      sttsim::experiments::sensitivity_clock(opts.kernels), opts);
+}

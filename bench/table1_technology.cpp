@@ -1,0 +1,9 @@
+// Regenerates Table I from the technology models.
+#include <cstdio>
+
+#include "sttsim/experiments/figures.hpp"
+
+int main() {
+  std::fputs(sttsim::experiments::table1_technology().c_str(), stdout);
+  return 0;
+}

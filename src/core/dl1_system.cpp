@@ -1,0 +1,32 @@
+#include "sttsim/core/dl1_system.hpp"
+
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::core {
+
+void Dl1Timing::validate() const {
+  if (tag_cycles == 0 || read_cycles == 0 || write_cycles == 0) {
+    throw ConfigError("DL1 latencies must be nonzero");
+  }
+  if (banks == 0 || !is_pow2(banks)) {
+    throw ConfigError("DL1 bank count must be a nonzero power of two");
+  }
+}
+
+void Dl1Config::validate() const {
+  geometry.validate();
+  timing.validate();
+  if (store_buffer_depth == 0 || writeback_buffer_depth == 0) {
+    throw ConfigError("buffer depths must be nonzero");
+  }
+}
+
+void Dl1System::prefetch(Addr addr, sim::Cycle now) {
+  // Default: organizations without prefetch support treat the hint as a nop
+  // (it still retires as one instruction in the core).
+  (void)addr;
+  (void)now;
+  stats_.prefetches += 1;
+}
+
+}  // namespace sttsim::core

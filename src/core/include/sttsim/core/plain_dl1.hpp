@@ -1,0 +1,62 @@
+// Conventional L1 D-cache organization (no intermediate buffer).
+//
+// Instantiated twice in the paper's study:
+//  * SRAM baseline  — Table I column 1, 1-cycle read/write at 1 GHz;
+//  * drop-in NVM    — Table I column 2, 4-cycle read / 2-cycle write, which
+//    produces the ~54% average penalty of Fig. 1.
+//
+// Tags are SRAM in both cases (1-cycle miss detection); the configured
+// read/write cycles apply to the data array only. Write-back, write-allocate;
+// stores retire through a small store buffer; dirty victims retire through a
+// writeback buffer into the shared L2 system.
+#pragma once
+
+#include "sttsim/core/dl1_system.hpp"
+#include "sttsim/mem/fill_buffer.hpp"
+#include "sttsim/mem/write_buffer.hpp"
+#include "sttsim/sim/resource.hpp"
+
+namespace sttsim::core {
+
+class PlainDl1System final : public Dl1System {
+ public:
+  /// `l2` is shared with no ownership transfer; it must outlive this object.
+  PlainDl1System(std::string name, const Dl1Config& config,
+                 mem::L2System* l2);
+
+  sim::Cycle load(Addr addr, unsigned size, sim::Cycle now) override;
+  sim::Cycle store(Addr addr, unsigned size, sim::Cycle now) override;
+  /// Software prefetch pulls the line from L2 into the cache in the
+  /// background (hides L2/memory latency — the only latency a conventional
+  /// organization can hide; array hits remain on the critical path).
+  void prefetch(Addr addr, sim::Cycle now) override;
+  std::string name() const override { return name_; }
+  const mem::SetAssocCache& array() const override { return array_; }
+  void reset() override;
+
+  const Dl1Config& config() const { return cfg_; }
+
+  /// Test hook: whether the line containing `addr` is resident.
+  bool contains(Addr addr) const { return array_.probe(addr); }
+
+ private:
+  /// Serves one line-granular load; returns the data-ready cycle.
+  sim::Cycle load_line(Addr addr, sim::Cycle now);
+  /// Fills every L1 line covered by the L2 line fetched for `line`.
+  void fill_l2_span(Addr line, sim::Cycle data);
+  /// Drains one line-granular store beginning no earlier than `start`.
+  sim::Cycle drain_store(Addr addr, sim::Cycle start);
+  /// Handles a (possibly dirty) victim produced by a fill.
+  void retire_victim(const mem::FillOutcome& victim, sim::Cycle now);
+
+  std::string name_;
+  Dl1Config cfg_;
+  mem::L2System* l2_;
+  mem::SetAssocCache array_;
+  sim::BankSet banks_;
+  mem::FillBuffer fills_;  ///< in-flight prefetch arrivals
+  mem::WriteBuffer store_buffer_;
+  mem::WriteBuffer writeback_buffer_;
+};
+
+}  // namespace sttsim::core

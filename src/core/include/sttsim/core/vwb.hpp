@@ -1,0 +1,119 @@
+// The Very Wide Buffer (VWB) — the paper's central micro-architectural
+// structure (Section IV).
+//
+// An asymmetric register-file organization sitting between the STT-MRAM DL1
+// and the datapath: wide toward the memory (whole VWB lines are promoted in
+// one wide transfer), narrow toward the core (the post-decode MUX selects
+// individual words). Micro-architecturally it is two (by default) lines of
+// single-ported cells, each with its own tag, managed fully associatively.
+//
+// Because one VWB line (1 KBit default) spans multiple DL1 lines (512 bit),
+// each VWB line carries per-DL1-line *sector* state: valid, dirty, and the
+// cycle at which the sector's promotion read completes (data written into the
+// VWB concurrently with delivery to the core — critical-word-first).
+//
+// This class is purely the buffer's functional + readiness state; the timing
+// of promotions/evictions lives in VwbDl1System, which owns the NVM banks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sttsim/sim/cycle.hpp"
+#include "sttsim/util/bits.hpp"
+
+namespace sttsim::core {
+
+struct VwbGeometry {
+  unsigned num_lines = 2;          ///< paper: "two lines ... in conjunction"
+  std::uint64_t line_bytes = 128;  ///< 1 KBit register file per line
+  std::uint64_t sector_bytes = 64; ///< one DL1 line (512 bit)
+
+  std::uint64_t total_bits() const { return num_lines * line_bytes * 8; }
+  unsigned sectors_per_line() const {
+    return static_cast<unsigned>(line_bytes / sector_bytes);
+  }
+  void validate() const;
+};
+
+/// Result of a lookup.
+struct VwbHit {
+  bool hit = false;
+  bool dirty = false;
+  sim::Cycle ready = 0;  ///< promotion completion; 0 when resident since fill
+};
+
+/// A dirty sector that must be written back to the DL1 on eviction.
+struct VwbWriteback {
+  Addr sector_addr = 0;
+};
+
+class VeryWideBuffer {
+ public:
+  explicit VeryWideBuffer(const VwbGeometry& geometry);
+
+  const VwbGeometry& geometry() const { return geom_; }
+
+  /// VWB-line-aligned address containing `addr`.
+  Addr vline_addr(Addr addr) const { return align_down(addr, geom_.line_bytes); }
+  /// Sector-aligned address containing `addr`.
+  Addr sector_addr(Addr addr) const {
+    return align_down(addr, geom_.sector_bytes);
+  }
+
+  /// Checks whether the sector containing `addr` is resident. Updates LRU on
+  /// hit (a real access, not a probe).
+  VwbHit lookup(Addr addr);
+
+  /// Probe without LRU update (for tests and policy decisions).
+  VwbHit probe(Addr addr) const;
+
+  /// Marks the (resident) sector containing `addr` dirty — a store absorbed
+  /// by the VWB. Precondition: probe(addr).hit.
+  void mark_dirty(Addr addr);
+
+  /// Allocates (or reuses) the VWB line for `addr`, evicting the LRU line if
+  /// both lines hold other data. Dirty sectors of the victim are appended to
+  /// `writebacks`. Returns the line slot index to fill sectors into.
+  unsigned allocate_line(Addr addr, std::vector<VwbWriteback>& writebacks);
+
+  /// Installs the sector containing `addr` into line slot `slot`
+  /// (allocated for this address) with promotion completing at `ready`.
+  void fill_sector(unsigned slot, Addr addr, sim::Cycle ready);
+
+  /// Invalidates the sector containing `addr` if resident (used when the DL1
+  /// evicts the underlying line). Returns true iff the sector was dirty — the
+  /// caller must merge its data into the outgoing victim.
+  bool invalidate_sector(Addr addr);
+
+  /// Whether line slot `slot` currently maps `addr`'s VWB line.
+  bool slot_maps(unsigned slot, Addr addr) const;
+
+  /// Count of resident sectors (diagnostics/tests).
+  unsigned resident_sectors() const;
+
+  void reset();
+
+ private:
+  struct Sector {
+    bool valid = false;
+    bool dirty = false;
+    sim::Cycle ready = 0;
+  };
+  struct Line {
+    Addr base = 0;  ///< VWB-line-aligned base address
+    bool valid = false;
+    std::uint64_t lru = 0;
+    std::vector<Sector> sectors;
+  };
+
+  Line* find_line(Addr addr);
+  const Line* find_line(Addr addr) const;
+  unsigned sector_index(Addr addr) const;
+
+  VwbGeometry geom_;
+  std::vector<Line> lines_;
+  std::uint64_t lru_clock_ = 0;
+};
+
+}  // namespace sttsim::core

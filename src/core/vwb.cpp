@@ -1,0 +1,160 @@
+#include "sttsim/core/vwb.hpp"
+
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::core {
+
+void VwbGeometry::validate() const {
+  if (num_lines == 0) throw ConfigError("VWB must have at least one line");
+  if (!is_pow2(line_bytes) || !is_pow2(sector_bytes)) {
+    throw ConfigError("VWB line/sector sizes must be powers of two");
+  }
+  if (line_bytes < sector_bytes) {
+    throw ConfigError("VWB line must be at least one sector wide");
+  }
+}
+
+VeryWideBuffer::VeryWideBuffer(const VwbGeometry& geometry) : geom_(geometry) {
+  geom_.validate();
+  lines_.resize(geom_.num_lines);
+  for (Line& l : lines_) l.sectors.resize(geom_.sectors_per_line());
+}
+
+unsigned VeryWideBuffer::sector_index(Addr addr) const {
+  return static_cast<unsigned>((addr % geom_.line_bytes) / geom_.sector_bytes);
+}
+
+VeryWideBuffer::Line* VeryWideBuffer::find_line(Addr addr) {
+  const Addr base = vline_addr(addr);
+  for (Line& l : lines_) {
+    if (l.valid && l.base == base) return &l;
+  }
+  return nullptr;
+}
+
+const VeryWideBuffer::Line* VeryWideBuffer::find_line(Addr addr) const {
+  return const_cast<VeryWideBuffer*>(this)->find_line(addr);
+}
+
+VwbHit VeryWideBuffer::lookup(Addr addr) {
+  Line* line = find_line(addr);
+  VwbHit h;
+  if (line == nullptr) return h;
+  const Sector& s = line->sectors[sector_index(addr)];
+  if (!s.valid) return h;
+  line->lru = ++lru_clock_;
+  h.hit = true;
+  h.dirty = s.dirty;
+  h.ready = s.ready;
+  return h;
+}
+
+VwbHit VeryWideBuffer::probe(Addr addr) const {
+  const Line* line = find_line(addr);
+  VwbHit h;
+  if (line == nullptr) return h;
+  const Sector& s = line->sectors[sector_index(addr)];
+  if (!s.valid) return h;
+  h.hit = true;
+  h.dirty = s.dirty;
+  h.ready = s.ready;
+  return h;
+}
+
+void VeryWideBuffer::mark_dirty(Addr addr) {
+  Line* line = find_line(addr);
+  STTSIM_CHECK(line != nullptr);
+  Sector& s = line->sectors[sector_index(addr)];
+  STTSIM_CHECK(s.valid);
+  s.dirty = true;
+  line->lru = ++lru_clock_;
+}
+
+unsigned VeryWideBuffer::allocate_line(Addr addr,
+                                       std::vector<VwbWriteback>& writebacks) {
+  const Addr base = vline_addr(addr);
+  // Reuse an existing mapping or an invalid slot before evicting LRU.
+  Line* target = nullptr;
+  for (Line& l : lines_) {
+    if (l.valid && l.base == base) {
+      target = &l;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    for (Line& l : lines_) {
+      if (!l.valid) {
+        target = &l;
+        break;
+      }
+    }
+  }
+  if (target == nullptr) {
+    target = &lines_[0];
+    for (Line& l : lines_) {
+      if (l.lru < target->lru) target = &l;
+    }
+    // Evict: surface dirty sectors to the caller.
+    for (unsigned i = 0; i < target->sectors.size(); ++i) {
+      Sector& s = target->sectors[i];
+      if (s.valid && s.dirty) {
+        writebacks.push_back(
+            VwbWriteback{target->base + i * geom_.sector_bytes});
+      }
+      s = Sector{};
+    }
+    target->valid = false;
+  }
+  if (!target->valid) {
+    target->base = base;
+    target->valid = true;
+    for (Sector& s : target->sectors) s = Sector{};
+  }
+  target->lru = ++lru_clock_;
+  return static_cast<unsigned>(target - lines_.data());
+}
+
+void VeryWideBuffer::fill_sector(unsigned slot, Addr addr, sim::Cycle ready) {
+  STTSIM_CHECK(slot < lines_.size());
+  Line& line = lines_[slot];
+  STTSIM_CHECK(line.valid && line.base == vline_addr(addr));
+  Sector& s = line.sectors[sector_index(addr)];
+  s.valid = true;
+  s.dirty = false;
+  s.ready = ready;
+}
+
+bool VeryWideBuffer::invalidate_sector(Addr addr) {
+  Line* line = find_line(addr);
+  if (line == nullptr) return false;
+  Sector& s = line->sectors[sector_index(addr)];
+  if (!s.valid) return false;
+  const bool was_dirty = s.dirty;
+  s = Sector{};
+  return was_dirty;
+}
+
+bool VeryWideBuffer::slot_maps(unsigned slot, Addr addr) const {
+  STTSIM_CHECK(slot < lines_.size());
+  const Line& line = lines_[slot];
+  return line.valid && line.base == vline_addr(addr);
+}
+
+unsigned VeryWideBuffer::resident_sectors() const {
+  unsigned n = 0;
+  for (const Line& l : lines_) {
+    if (!l.valid) continue;
+    for (const Sector& s : l.sectors) n += s.valid ? 1 : 0;
+  }
+  return n;
+}
+
+void VeryWideBuffer::reset() {
+  for (Line& l : lines_) {
+    l = Line{};
+    l.sectors.resize(geom_.sectors_per_line());
+  }
+  lru_clock_ = 0;
+}
+
+}  // namespace sttsim::core

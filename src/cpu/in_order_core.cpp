@@ -1,0 +1,56 @@
+#include "sttsim/cpu/in_order_core.hpp"
+
+#include <algorithm>
+
+namespace sttsim::cpu {
+
+sim::RunStats InOrderCore::run(const Trace& trace, core::Dl1System& dl1) {
+  sim::CoreStats core;
+  sim::Cycle now = 0;
+  for (const TraceOp& op : trace) {
+    switch (op.kind) {
+      case OpKind::kExec: {
+        now += op.count;
+        core.instructions += op.count;
+        core.exec_cycles += op.count;
+        break;
+      }
+      case OpKind::kLoad: {
+        core.instructions += 1;
+        core.mem_instructions += 1;
+        const sim::Cycle issue_done = now + 1;
+        const sim::Cycle data = dl1.load(op.addr, op.size, now);
+        const sim::Cycle done = std::max(issue_done, data);
+        core.read_stall_cycles += done - issue_done;
+        core.exec_cycles += 1;  // the issue cycle itself
+        now = done;
+        break;
+      }
+      case OpKind::kStore: {
+        core.instructions += 1;
+        core.mem_instructions += 1;
+        const sim::Cycle issue_done = now + 1;
+        const sim::Cycle accepted = dl1.store(op.addr, op.size, now);
+        const sim::Cycle done = std::max(issue_done, accepted);
+        core.write_stall_cycles += done - issue_done;
+        core.exec_cycles += 1;
+        now = done;
+        break;
+      }
+      case OpKind::kPrefetch: {
+        core.instructions += 1;
+        dl1.prefetch(op.addr, now);
+        core.exec_cycles += 1;
+        now += 1;
+        break;
+      }
+    }
+  }
+  core.total_cycles = now;
+  sim::RunStats out;
+  out.core = core;
+  out.mem = dl1.stats();
+  return out;
+}
+
+}  // namespace sttsim::cpu

@@ -1,0 +1,28 @@
+// In-order, single-issue core model (ARM Cortex-A9-like, 1 GHz).
+//
+// The paper's system: loads are blocking (the next instruction waits for the
+// data — load-to-use distance of one, the conservative case for read
+// latency); stores retire through the DL1's store buffer and stall the core
+// only when the buffer backs up; prefetches issue in one cycle and never
+// block. The instruction side (32 KB SRAM IL1, identical in every
+// configuration) is folded into the exec stream.
+//
+// Every stall cycle is attributed to its cause so that Fig. 4's
+// read-vs-write decomposition is measured rather than estimated.
+#pragma once
+
+#include "sttsim/core/dl1_system.hpp"
+#include "sttsim/cpu/trace.hpp"
+#include "sttsim/sim/stats.hpp"
+
+namespace sttsim::cpu {
+
+class InOrderCore {
+ public:
+  /// Runs `trace` to completion against `dl1` (which accumulates MemStats);
+  /// returns the merged run statistics. The DL1 is NOT reset first — callers
+  /// compose warm-up + measured phases if they need to.
+  sim::RunStats run(const Trace& trace, core::Dl1System& dl1);
+};
+
+}  // namespace sttsim::cpu

@@ -1,0 +1,36 @@
+// Binary trace serialization.
+//
+// Lets downstream users capture address traces from real programs (any
+// tool that can emit this format) and run them through the simulator, and
+// lets the CLI/test infrastructure snapshot generated traces.
+//
+// Format (little-endian):
+//   magic   u64  'STTTRACE'
+//   version u32  (currently 1)
+//   count   u64  number of ops
+//   ops     count x { kind u8, size u8, pad u16, count u32, addr u64 }
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "sttsim/cpu/trace.hpp"
+
+namespace sttsim::cpu {
+
+/// Thrown on malformed input or I/O failure.
+class TraceIoError : public std::runtime_error {
+ public:
+  explicit TraceIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Serializes `trace` to a stream / file. Throws TraceIoError on failure.
+void write_trace(std::ostream& out, const Trace& trace);
+void write_trace_file(const std::string& path, const Trace& trace);
+
+/// Deserializes a trace. Throws TraceIoError on malformed input.
+Trace read_trace(std::istream& in);
+Trace read_trace_file(const std::string& path);
+
+}  // namespace sttsim::cpu

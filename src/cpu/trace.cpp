@@ -1,0 +1,79 @@
+#include "sttsim/cpu/trace.hpp"
+
+#include "sttsim/util/check.hpp"
+#include "sttsim/util/text.hpp"
+
+namespace sttsim::cpu {
+
+TraceOp make_exec(std::uint32_t count) {
+  STTSIM_CHECK(count > 0);
+  TraceOp op;
+  op.kind = OpKind::kExec;
+  op.count = count;
+  return op;
+}
+
+TraceOp make_load(Addr addr, unsigned size) {
+  STTSIM_CHECK(size > 0 && size <= 255);
+  TraceOp op;
+  op.kind = OpKind::kLoad;
+  op.addr = addr;
+  op.size = static_cast<std::uint8_t>(size);
+  return op;
+}
+
+TraceOp make_store(Addr addr, unsigned size) {
+  STTSIM_CHECK(size > 0 && size <= 255);
+  TraceOp op;
+  op.kind = OpKind::kStore;
+  op.addr = addr;
+  op.size = static_cast<std::uint8_t>(size);
+  return op;
+}
+
+TraceOp make_prefetch(Addr addr) {
+  TraceOp op;
+  op.kind = OpKind::kPrefetch;
+  op.addr = addr;
+  return op;
+}
+
+TraceSummary summarize(const Trace& trace) {
+  TraceSummary s;
+  for (const TraceOp& op : trace) {
+    switch (op.kind) {
+      case OpKind::kExec:
+        s.instructions += op.count;
+        s.exec_instructions += op.count;
+        break;
+      case OpKind::kLoad:
+        s.instructions += 1;
+        s.loads += 1;
+        s.bytes_loaded += op.size;
+        break;
+      case OpKind::kStore:
+        s.instructions += 1;
+        s.stores += 1;
+        s.bytes_stored += op.size;
+        break;
+      case OpKind::kPrefetch:
+        s.instructions += 1;
+        s.prefetches += 1;
+        break;
+    }
+  }
+  return s;
+}
+
+std::string describe(const Trace& trace) {
+  const TraceSummary s = summarize(trace);
+  return strprintf(
+      "%llu insts: %llu ld / %llu st / %llu pf / %llu ex",
+      static_cast<unsigned long long>(s.instructions),
+      static_cast<unsigned long long>(s.loads),
+      static_cast<unsigned long long>(s.stores),
+      static_cast<unsigned long long>(s.prefetches),
+      static_cast<unsigned long long>(s.exec_instructions));
+}
+
+}  // namespace sttsim::cpu

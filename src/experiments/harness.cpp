@@ -1,0 +1,66 @@
+#include "sttsim/experiments/harness.hpp"
+
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::experiments {
+
+double penalty_pct(const sim::RunStats& variant,
+                   const sim::RunStats& baseline) {
+  STTSIM_CHECK(baseline.core.total_cycles > 0);
+  const double v = static_cast<double>(variant.core.total_cycles);
+  const double b = static_cast<double>(baseline.core.total_cycles);
+  return (v - b) / b * 100.0;
+}
+
+double gain_pct(const sim::RunStats& unoptimized,
+                const sim::RunStats& optimized) {
+  STTSIM_CHECK(unoptimized.core.total_cycles > 0);
+  const double u = static_cast<double>(unoptimized.core.total_cycles);
+  const double o = static_cast<double>(optimized.core.total_cycles);
+  return (u - o) / u * 100.0;
+}
+
+const cpu::Trace& TraceCache::get(const workloads::Kernel& kernel,
+                                  const workloads::CodegenOptions& opts) {
+  const std::string key = kernel.name + "/" + opts.label();
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, kernel.generate(opts)).first;
+  }
+  return it->second;
+}
+
+sim::RunStats run_kernel(TraceCache& cache, const workloads::Kernel& kernel,
+                         const cpu::SystemConfig& config,
+                         const workloads::CodegenOptions& opts) {
+  cpu::System system(config);
+  return system.run(cache.get(kernel, opts));
+}
+
+cpu::SystemConfig make_config(cpu::Dl1Organization org) {
+  cpu::SystemConfig c;
+  c.organization = org;
+  return c;
+}
+
+std::vector<workloads::Kernel> select_kernels(
+    const std::vector<std::string>& names) {
+  if (names.empty()) return workloads::polybench_suite();
+  std::vector<workloads::Kernel> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    out.push_back(workloads::find_kernel(n));
+  }
+  return out;
+}
+
+tech::EnergyBreakdown dl1_energy(const sim::RunStats& stats,
+                                 const tech::TechnologyParams& t,
+                                 double clock_ghz) {
+  tech::AccessCounts counts;
+  counts.reads = stats.mem.l1_array_reads;
+  counts.writes = stats.mem.l1_array_writes;
+  return tech::compute_energy(t, counts, stats.core.total_cycles, clock_ghz);
+}
+
+}  // namespace sttsim::experiments

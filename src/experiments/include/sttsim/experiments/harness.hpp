@@ -1,0 +1,58 @@
+// Shared plumbing for the paper's experiments: run (kernel x organization x
+// codegen) grids, compute penalties/gains, and cache generated traces.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sttsim/cpu/system.hpp"
+#include "sttsim/sim/stats.hpp"
+#include "sttsim/tech/energy.hpp"
+#include "sttsim/workloads/suite.hpp"
+
+namespace sttsim::experiments {
+
+/// Performance penalty of `variant` relative to `baseline`, in percent —
+/// the paper's metric ("SRAM D-cache baseline = 100%"): 0% means equal
+/// runtime, 54% means 1.54x the baseline cycles.
+double penalty_pct(const sim::RunStats& variant,
+                   const sim::RunStats& baseline);
+
+/// Performance gain of `optimized` over `unoptimized` on the same system,
+/// in percent (Fig. 9's metric).
+double gain_pct(const sim::RunStats& unoptimized,
+                const sim::RunStats& optimized);
+
+/// Memoizes generated traces per (kernel, codegen) so multi-figure bench
+/// binaries do not regenerate identical traces.
+class TraceCache {
+ public:
+  const cpu::Trace& get(const workloads::Kernel& kernel,
+                        const workloads::CodegenOptions& opts);
+
+  std::size_t entries() const { return cache_.size(); }
+
+ private:
+  std::map<std::string, cpu::Trace> cache_;
+};
+
+/// Runs one kernel on one system configuration with the given codegen.
+sim::RunStats run_kernel(TraceCache& cache, const workloads::Kernel& kernel,
+                         const cpu::SystemConfig& config,
+                         const workloads::CodegenOptions& opts);
+
+/// Convenience: a SystemConfig for an organization with paper defaults.
+cpu::SystemConfig make_config(cpu::Dl1Organization org);
+
+/// The kernels to evaluate: the full suite, or the named subset
+/// (used to keep unit/integration tests fast).
+std::vector<workloads::Kernel> select_kernels(
+    const std::vector<std::string>& names);
+
+/// DL1 energy for one run under technology `t` (array accesses + leakage).
+tech::EnergyBreakdown dl1_energy(const sim::RunStats& stats,
+                                 const tech::TechnologyParams& t,
+                                 double clock_ghz = 1.0);
+
+}  // namespace sttsim::experiments

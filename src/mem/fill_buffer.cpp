@@ -1,0 +1,72 @@
+#include "sttsim/mem/fill_buffer.hpp"
+
+#include <algorithm>
+
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::mem {
+
+FillBuffer::FillBuffer(unsigned entries) {
+  if (entries == 0) throw ConfigError("fill buffer must have entries");
+  slots_.resize(entries);
+}
+
+FillBuffer::Slot* FillBuffer::find(Addr line) {
+  for (Slot& s : slots_) {
+    if (s.valid && s.line == line) return &s;
+  }
+  return nullptr;
+}
+
+const FillBuffer::Slot* FillBuffer::find(Addr line) const {
+  return const_cast<FillBuffer*>(this)->find(line);
+}
+
+void FillBuffer::insert(Addr line, sim::Cycle ready) {
+  Slot* slot = find(line);
+  if (slot == nullptr) {
+    slot = &slots_[0];
+    for (Slot& s : slots_) {
+      if (!s.valid) {
+        slot = &s;
+        break;
+      }
+      if (s.lru < slot->lru) slot = &s;
+    }
+  }
+  slot->line = line;
+  slot->ready = ready;
+  slot->valid = true;
+  slot->lru = ++clock_;
+}
+
+std::optional<sim::Cycle> FillBuffer::lookup(Addr line) const {
+  const Slot* s = find(line);
+  if (s == nullptr) return std::nullopt;
+  return s->ready;
+}
+
+std::optional<sim::Cycle> FillBuffer::consume(Addr line) {
+  Slot* s = find(line);
+  if (s == nullptr) return std::nullopt;
+  const sim::Cycle ready = s->ready;
+  s->valid = false;
+  return ready;
+}
+
+void FillBuffer::invalidate(Addr line) {
+  Slot* s = find(line);
+  if (s != nullptr) s->valid = false;
+}
+
+unsigned FillBuffer::occupancy() const {
+  return static_cast<unsigned>(std::count_if(
+      slots_.begin(), slots_.end(), [](const Slot& s) { return s.valid; }));
+}
+
+void FillBuffer::reset() {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  clock_ = 0;
+}
+
+}  // namespace sttsim::mem

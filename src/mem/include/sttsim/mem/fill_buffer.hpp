@@ -1,0 +1,60 @@
+// MSHR fill registers with persistent contents.
+//
+// Software prefetches in the VWB organization do not allocate into the VWB
+// at issue time (a 2-line buffer would thrash under multi-stream prefetch);
+// instead the prefetched NVM/L2 read deposits its line into an MSHR fill
+// register, and the demand access's VWB promotion completes from the
+// register. This is the same "MSHRs that keep serving data" idea as the
+// authors' DATE'14 EMSHR, applied to the prefetch path.
+//
+// Entries persist until consumed by a demand access, invalidated by a store
+// or an L1 eviction, or displaced (LRU) by a newer prefetch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sttsim/sim/cycle.hpp"
+#include "sttsim/util/bits.hpp"
+
+namespace sttsim::mem {
+
+class FillBuffer {
+ public:
+  explicit FillBuffer(unsigned entries);
+
+  /// Deposits `line` with its data arriving at `ready`; displaces the LRU
+  /// entry if full. A duplicate insert refreshes the existing entry.
+  void insert(Addr line, sim::Cycle ready);
+
+  /// Non-destructive lookup: the data-ready cycle, if the line is present.
+  std::optional<sim::Cycle> lookup(Addr line) const;
+
+  /// Consumes the entry (demand access moved the data out); returns the
+  /// data-ready cycle, or nullopt if absent.
+  std::optional<sim::Cycle> consume(Addr line);
+
+  /// Drops the entry if present (store made it stale / L1 evicted the line).
+  void invalidate(Addr line);
+
+  unsigned occupancy() const;
+  unsigned capacity() const { return static_cast<unsigned>(slots_.size()); }
+
+  void reset();
+
+ private:
+  struct Slot {
+    Addr line = 0;
+    sim::Cycle ready = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+  Slot* find(Addr line);
+  const Slot* find(Addr line) const;
+
+  std::vector<Slot> slots_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace sttsim::mem

@@ -1,0 +1,59 @@
+// Downstream memory: unified SRAM L2 + main memory.
+//
+// The paper keeps the 2 MB 16-way SRAM L2 and main memory unchanged across
+// all DL1 variants (Section VI), so one shared model serves every
+// organization. The L2 is modelled functionally (tags, LRU, write-back) with
+// a pipelined single port; main memory is a fixed-latency channel.
+#pragma once
+
+#include <cstdint>
+
+#include "sttsim/mem/set_assoc_cache.hpp"
+#include "sttsim/sim/cycle.hpp"
+#include "sttsim/sim/resource.hpp"
+#include "sttsim/sim/stats.hpp"
+
+namespace sttsim::mem {
+
+struct L2Config {
+  std::uint64_t capacity_bytes = 2 * kMiB;  // paper Section VI
+  unsigned associativity = 16;              // paper Section VI
+  std::uint64_t line_bytes = 64;
+  sim::Cycles hit_latency = 12;       ///< SRAM L2 access at 1 GHz
+  sim::Cycles port_occupancy = 4;     ///< pipelined port busy time per access
+  sim::Cycles memory_latency = 100;   ///< DRAM round trip at 1 GHz
+
+  void validate() const;
+};
+
+/// L2 + memory timing and contents.
+class L2System {
+ public:
+  explicit L2System(const L2Config& config);
+
+  const L2Config& config() const { return cfg_; }
+
+  /// Fetches the line containing `addr` for an L1 fill: returns the cycle at
+  /// which the line data is available at the L1. Allocates in L2 on miss
+  /// (write-allocate), spilling dirty L2 victims to memory in the background.
+  sim::Cycle fetch_line(Addr addr, sim::Cycle earliest, sim::MemStats& stats);
+
+  /// Accepts a dirty line written back from the L1; returns the cycle at
+  /// which the L2 has absorbed it (the L1-side buffer entry frees then).
+  sim::Cycle accept_writeback(Addr addr, sim::Cycle earliest,
+                              sim::MemStats& stats);
+
+  /// True iff the line containing `addr` currently resides in the L2
+  /// (test/diagnostic hook; does not touch LRU).
+  bool contains(Addr addr) const { return array_.probe(addr); }
+
+  void reset();
+
+ private:
+  L2Config cfg_;
+  SetAssocCache array_;
+  sim::ResourceTimeline port_;
+  sim::ResourceTimeline memory_channel_;
+};
+
+}  // namespace sttsim::mem

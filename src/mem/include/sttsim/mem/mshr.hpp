@@ -1,0 +1,50 @@
+// Miss Status Holding Register file.
+//
+// Tracks cache lines with an outstanding fill so that demand accesses and
+// prefetches to an in-flight line merge with it instead of issuing a second
+// request. Also the substrate of the EMSHR comparison point (Komalan et al.,
+// DATE'14), where MSHR entries additionally serve data to the core after the
+// fill completes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sttsim/sim/cycle.hpp"
+#include "sttsim/util/bits.hpp"
+
+namespace sttsim::mem {
+
+class Mshr {
+ public:
+  /// `entries` concurrent outstanding line fills.
+  explicit Mshr(unsigned entries);
+
+  /// If `line` has an outstanding fill at `now`, returns its completion
+  /// cycle; otherwise returns 0. (Cycle 0 is never a valid completion since
+  /// allocation takes at least one cycle.)
+  sim::Cycle lookup(Addr line, sim::Cycle now) const;
+
+  /// Allocates an entry for `line` whose fill would complete at `done`.
+  /// If the file is full at `now` the allocation waits for the earliest
+  /// completion and the fill is pushed out by the same amount. Returns the
+  /// effective completion cycle (== `done` unless the file was full).
+  /// Precondition: lookup(line, now) == 0.
+  sim::Cycle allocate(Addr line, sim::Cycle now, sim::Cycle done);
+
+  /// Entries still outstanding at `now`.
+  unsigned occupancy(sim::Cycle now) const;
+
+  unsigned capacity() const { return static_cast<unsigned>(slots_.size()); }
+
+  void reset();
+
+ private:
+  struct Slot {
+    Addr line = 0;
+    sim::Cycle done = 0;  ///< 0 = free
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace sttsim::mem

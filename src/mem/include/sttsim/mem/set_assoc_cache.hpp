@@ -1,0 +1,108 @@
+// Functional (contents-free) set-associative cache model.
+//
+// Tracks tags, validity, dirtiness and true-LRU replacement; no data payload
+// is stored because the simulator is timing-only. All DL1 organizations and
+// the unified L2 in this repository are built on this model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sttsim/util/bits.hpp"
+
+namespace sttsim::mem {
+
+/// Geometry of a set-associative array.
+struct CacheGeometry {
+  std::uint64_t capacity_bytes = 0;
+  unsigned associativity = 1;
+  std::uint64_t line_bytes = 64;
+
+  std::uint64_t num_lines() const { return capacity_bytes / line_bytes; }
+  std::uint64_t num_sets() const { return num_lines() / associativity; }
+
+  /// Throws ConfigError unless the geometry is realizable
+  /// (power-of-two capacity/line, whole number of sets).
+  void validate() const;
+};
+
+/// Result of a fill (allocation) into the cache.
+struct FillOutcome {
+  bool victim_valid = false;  ///< a line was evicted
+  bool victim_dirty = false;  ///< ... and it needs writing back
+  Addr victim_addr = 0;       ///< line-aligned address of the victim
+};
+
+/// Tag/state array with true-LRU replacement, write-back semantics.
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheGeometry& geometry);
+
+  const CacheGeometry& geometry() const { return geom_; }
+
+  /// Line-aligned address containing `addr`.
+  Addr line_addr(Addr addr) const { return align_down(addr, geom_.line_bytes); }
+
+  /// True iff the line containing `addr` is present. Does not touch LRU.
+  bool probe(Addr addr) const;
+
+  /// Demand access: returns hit/miss, promotes the line to MRU on hit and
+  /// marks it dirty when `is_write`. A miss changes nothing (callers decide
+  /// whether to allocate via fill()).
+  bool access(Addr addr, bool is_write);
+
+  /// Allocates the line containing `addr`, evicting the LRU way if the set is
+  /// full. The new line is MRU and dirty iff `dirty`.
+  /// Precondition: the line is not already present.
+  FillOutcome fill(Addr addr, bool dirty);
+
+  /// Removes the line if present; returns true iff it was present and dirty
+  /// (i.e. the caller owes a writeback).
+  bool invalidate(Addr addr);
+
+  /// True iff present and dirty. Does not touch LRU.
+  bool is_dirty(Addr addr) const;
+
+  /// Marks an already-present line dirty (no LRU update).
+  /// Precondition: the line is present.
+  void mark_dirty(Addr addr);
+
+  /// Number of currently valid lines (for occupancy assertions in tests).
+  std::uint64_t valid_lines() const;
+
+  // -- Wear tracking (endurance studies) -------------------------------
+  // Every array write (dirty access, fill, mark_dirty) increments the
+  // physical frame's wear counter. Counters survive invalidation and
+  // replacement: wear is a property of the cell, not the resident line.
+
+  /// Writes absorbed by the physical frame currently mapped at `addr`'s
+  /// set (max over ways if the line is absent).
+  std::uint64_t frame_writes(Addr addr) const;
+  /// The most-written frame in the array.
+  std::uint64_t max_frame_writes() const;
+  /// Total writes across all frames.
+  std::uint64_t total_writes() const;
+
+  /// Drops all contents (wear counters included).
+  void reset();
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    std::uint64_t lru = 0;  ///< last-use stamp; larger = more recent
+    std::uint64_t writes = 0;  ///< lifetime wear of this physical frame
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t set_index(Addr addr) const;
+  Addr tag_of(Addr addr) const;
+  Line* find(Addr addr);
+  const Line* find(Addr addr) const;
+
+  CacheGeometry geom_;
+  std::vector<Line> lines_;  ///< sets * ways, set-major
+  std::uint64_t lru_clock_ = 0;
+};
+
+}  // namespace sttsim::mem

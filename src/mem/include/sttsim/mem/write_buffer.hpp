@@ -1,0 +1,58 @@
+// Small buffer with finite occupancy and out-of-order drain completion.
+//
+// Models both the core's store buffer (stores retire in the background and
+// only stall the pipeline when the buffer is full) and the paper's "small
+// write buffer ... to hold the evicted data temporarily, while being
+// transferred to the L2" (Section IV).
+//
+// Usage is a two-step protocol, because the drain time of an entry depends on
+// downstream resources (NVM bank, L2 port) that the caller owns:
+//
+//   sim::Cycle slot = buf.accept(now);          // backpressure
+//   sim::Grant g = banks.acquire(addr, slot, write_cycles);
+//   buf.commit(g.done);                          // entry drains at g.done
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "sttsim/sim/cycle.hpp"
+
+namespace sttsim::mem {
+
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(unsigned depth);
+
+  /// Cycle (>= now) at which a slot is available for a new entry. If the
+  /// buffer is full at `now`, this is when the earliest-draining entry
+  /// completes. Does not yet occupy the slot; follow with commit().
+  sim::Cycle accept(sim::Cycle now);
+
+  /// Occupies the slot granted by the immediately preceding accept(); the
+  /// entry drains (frees its slot) at `done`.
+  void commit(sim::Cycle done);
+
+  /// Entries still in flight at `now`.
+  unsigned occupancy(sim::Cycle now) const;
+
+  /// Cycle by which everything currently queued has drained (0 if empty).
+  sim::Cycle drained_by() const;
+
+  unsigned depth() const { return depth_; }
+
+  void reset();
+
+ private:
+  void retire(sim::Cycle now);
+
+  unsigned depth_;
+  // Min-heap of drain-completion cycles (completions can be out of order
+  // when entries drain through different banks).
+  std::priority_queue<sim::Cycle, std::vector<sim::Cycle>,
+                      std::greater<sim::Cycle>>
+      in_flight_;
+  sim::Cycle max_done_ = 0;
+};
+
+}  // namespace sttsim::mem

@@ -1,0 +1,73 @@
+#include "sttsim/mem/l2_system.hpp"
+
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::mem {
+
+void L2Config::validate() const {
+  CacheGeometry g{capacity_bytes, associativity, line_bytes};
+  g.validate();
+  if (hit_latency == 0 || memory_latency == 0) {
+    throw ConfigError("L2/memory latencies must be nonzero");
+  }
+  if (port_occupancy == 0) throw ConfigError("L2 port occupancy must be nonzero");
+}
+
+L2System::L2System(const L2Config& config)
+    : cfg_(config),
+      array_(CacheGeometry{config.capacity_bytes, config.associativity,
+                           config.line_bytes}) {
+  cfg_.validate();
+}
+
+sim::Cycle L2System::fetch_line(Addr addr, sim::Cycle earliest,
+                                sim::MemStats& stats) {
+  const Addr line = array_.line_addr(addr);
+  const sim::Grant port = port_.acquire(earliest, cfg_.port_occupancy);
+  stats.l2_array_reads += 1;
+  if (array_.access(line, /*is_write=*/false)) {
+    stats.l2_hits += 1;
+    return port.start + cfg_.hit_latency;
+  }
+  stats.l2_misses += 1;
+  // Miss: fetch from memory, allocate in L2 (write-allocate), spill any dirty
+  // victim to memory in the background.
+  const sim::Grant mem =
+      memory_channel_.acquire(port.start + cfg_.hit_latency,
+                              cfg_.memory_latency);
+  const FillOutcome fill = array_.fill(line, /*dirty=*/false);
+  if (fill.victim_valid && fill.victim_dirty) {
+    // Background spill; occupies the memory channel but not the L1 path.
+    memory_channel_.acquire(mem.done, cfg_.memory_latency);
+  }
+  stats.l2_array_writes += 1;  // line fill into the L2 array
+  return mem.done;
+}
+
+sim::Cycle L2System::accept_writeback(Addr addr, sim::Cycle earliest,
+                                      sim::MemStats& stats) {
+  const Addr line = array_.line_addr(addr);
+  const sim::Grant port = port_.acquire(earliest, cfg_.port_occupancy);
+  stats.l2_array_writes += 1;
+  if (array_.access(line, /*is_write=*/true)) {
+    stats.l2_hits += 1;
+    return port.start + cfg_.hit_latency;
+  }
+  stats.l2_misses += 1;
+  // Write-allocate: pull the line from memory, then merge the writeback.
+  const sim::Grant mem = memory_channel_.acquire(
+      port.start + cfg_.hit_latency, cfg_.memory_latency);
+  const FillOutcome fill = array_.fill(line, /*dirty=*/true);
+  if (fill.victim_valid && fill.victim_dirty) {
+    memory_channel_.acquire(mem.done, cfg_.memory_latency);
+  }
+  return mem.done;
+}
+
+void L2System::reset() {
+  array_.reset();
+  port_.reset();
+  memory_channel_.reset();
+}
+
+}  // namespace sttsim::mem

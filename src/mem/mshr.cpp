@@ -1,0 +1,52 @@
+#include "sttsim/mem/mshr.hpp"
+
+#include <algorithm>
+
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::mem {
+
+Mshr::Mshr(unsigned entries) {
+  if (entries == 0) throw ConfigError("MSHR must have at least one entry");
+  slots_.resize(entries);
+}
+
+sim::Cycle Mshr::lookup(Addr line, sim::Cycle now) const {
+  for (const Slot& s : slots_) {
+    if (s.done > now && s.line == line) return s.done;
+  }
+  return 0;
+}
+
+sim::Cycle Mshr::allocate(Addr line, sim::Cycle now, sim::Cycle done) {
+  STTSIM_CHECK(lookup(line, now) == 0);
+  // Free slot?
+  for (Slot& s : slots_) {
+    if (s.done <= now) {
+      s.line = line;
+      s.done = done;
+      return done;
+    }
+  }
+  // Full: wait for the earliest completion; the fill slips by the wait.
+  Slot* earliest = &slots_[0];
+  for (Slot& s : slots_) {
+    if (s.done < earliest->done) earliest = &s;
+  }
+  const sim::Cycles extra = earliest->done - now;
+  earliest->line = line;
+  earliest->done = done + extra;
+  return earliest->done;
+}
+
+unsigned Mshr::occupancy(sim::Cycle now) const {
+  return static_cast<unsigned>(
+      std::count_if(slots_.begin(), slots_.end(),
+                    [now](const Slot& s) { return s.done > now; }));
+}
+
+void Mshr::reset() {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+}
+
+}  // namespace sttsim::mem

@@ -1,0 +1,153 @@
+#include "sttsim/mem/set_assoc_cache.hpp"
+
+#include <algorithm>
+
+#include "sttsim/util/check.hpp"
+#include "sttsim/util/text.hpp"
+
+namespace sttsim::mem {
+
+void CacheGeometry::validate() const {
+  if (capacity_bytes == 0 || !is_pow2(capacity_bytes)) {
+    throw ConfigError("cache capacity must be a nonzero power of two");
+  }
+  if (line_bytes == 0 || !is_pow2(line_bytes)) {
+    throw ConfigError("cache line size must be a nonzero power of two");
+  }
+  if (associativity == 0) throw ConfigError("associativity must be >= 1");
+  if (capacity_bytes < line_bytes * associativity) {
+    throw ConfigError("cache smaller than one set");
+  }
+  if (num_lines() % associativity != 0 || !is_pow2(num_sets())) {
+    throw ConfigError(strprintf(
+        "capacity %llu / line %llu / assoc %u does not form power-of-two sets",
+        static_cast<unsigned long long>(capacity_bytes),
+        static_cast<unsigned long long>(line_bytes), associativity));
+  }
+}
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geometry) : geom_(geometry) {
+  geom_.validate();
+  lines_.resize(geom_.num_lines());
+}
+
+std::uint64_t SetAssocCache::set_index(Addr addr) const {
+  return (addr / geom_.line_bytes) & (geom_.num_sets() - 1);
+}
+
+Addr SetAssocCache::tag_of(Addr addr) const {
+  return addr / geom_.line_bytes / geom_.num_sets();
+}
+
+SetAssocCache::Line* SetAssocCache::find(Addr addr) {
+  const std::uint64_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  Line* base = &lines_[set * geom_.associativity];
+  for (unsigned w = 0; w < geom_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const SetAssocCache::Line* SetAssocCache::find(Addr addr) const {
+  return const_cast<SetAssocCache*>(this)->find(addr);
+}
+
+bool SetAssocCache::probe(Addr addr) const { return find(addr) != nullptr; }
+
+bool SetAssocCache::access(Addr addr, bool is_write) {
+  Line* line = find(addr);
+  if (line == nullptr) return false;
+  line->lru = ++lru_clock_;
+  if (is_write) {
+    line->dirty = true;
+    line->writes += 1;
+  }
+  return true;
+}
+
+FillOutcome SetAssocCache::fill(Addr addr, bool dirty) {
+  STTSIM_CHECK(find(addr) == nullptr);
+  const std::uint64_t set = set_index(addr);
+  Line* base = &lines_[set * geom_.associativity];
+  // Prefer an invalid way; otherwise evict true-LRU.
+  Line* victim = &base[0];
+  for (unsigned w = 0; w < geom_.associativity; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  FillOutcome out;
+  if (victim->valid) {
+    out.victim_valid = true;
+    out.victim_dirty = victim->dirty;
+    out.victim_addr =
+        (victim->tag * geom_.num_sets() + set) * geom_.line_bytes;
+  }
+  victim->tag = tag_of(addr);
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->lru = ++lru_clock_;
+  victim->writes += 1;  // the fill writes the frame
+  return out;
+}
+
+bool SetAssocCache::invalidate(Addr addr) {
+  Line* line = find(addr);
+  if (line == nullptr) return false;
+  const bool was_dirty = line->dirty;
+  line->valid = false;
+  line->dirty = false;
+  return was_dirty;
+}
+
+bool SetAssocCache::is_dirty(Addr addr) const {
+  const Line* line = find(addr);
+  return line != nullptr && line->dirty;
+}
+
+void SetAssocCache::mark_dirty(Addr addr) {
+  Line* line = find(addr);
+  STTSIM_CHECK(line != nullptr);
+  line->dirty = true;
+  line->writes += 1;
+}
+
+std::uint64_t SetAssocCache::valid_lines() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(lines_.begin(), lines_.end(),
+                    [](const Line& l) { return l.valid; }));
+}
+
+std::uint64_t SetAssocCache::frame_writes(Addr addr) const {
+  if (const Line* line = find(addr); line != nullptr) return line->writes;
+  // Line absent: report the hottest frame of its set.
+  const std::uint64_t set = set_index(addr);
+  std::uint64_t best = 0;
+  const Line* base = &lines_[set * geom_.associativity];
+  for (unsigned w = 0; w < geom_.associativity; ++w) {
+    best = std::max(best, base[w].writes);
+  }
+  return best;
+}
+
+std::uint64_t SetAssocCache::max_frame_writes() const {
+  std::uint64_t best = 0;
+  for (const Line& l : lines_) best = std::max(best, l.writes);
+  return best;
+}
+
+std::uint64_t SetAssocCache::total_writes() const {
+  std::uint64_t total = 0;
+  for (const Line& l : lines_) total += l.writes;
+  return total;
+}
+
+void SetAssocCache::reset() {
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  lru_clock_ = 0;
+}
+
+}  // namespace sttsim::mem

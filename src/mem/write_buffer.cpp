@@ -1,0 +1,53 @@
+#include "sttsim/mem/write_buffer.hpp"
+
+#include <algorithm>
+
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::mem {
+
+WriteBuffer::WriteBuffer(unsigned depth) : depth_(depth) {
+  if (depth == 0) throw ConfigError("write buffer depth must be >= 1");
+}
+
+void WriteBuffer::retire(sim::Cycle now) {
+  while (!in_flight_.empty() && in_flight_.top() <= now) {
+    in_flight_.pop();
+  }
+}
+
+sim::Cycle WriteBuffer::accept(sim::Cycle now) {
+  retire(now);
+  if (in_flight_.size() < depth_) return now;
+  const sim::Cycle available = in_flight_.top();
+  retire(available);
+  return available;
+}
+
+void WriteBuffer::commit(sim::Cycle done) {
+  STTSIM_CHECK(in_flight_.size() < depth_);
+  in_flight_.push(done);
+  max_done_ = std::max(max_done_, done);
+}
+
+unsigned WriteBuffer::occupancy(sim::Cycle now) const {
+  // The heap is small (store buffers are 4-8 entries); copy and count.
+  auto copy = in_flight_;
+  unsigned n = 0;
+  while (!copy.empty()) {
+    if (copy.top() > now) ++n;
+    copy.pop();
+  }
+  return n;
+}
+
+sim::Cycle WriteBuffer::drained_by() const {
+  return in_flight_.empty() ? 0 : max_done_;
+}
+
+void WriteBuffer::reset() {
+  in_flight_ = {};
+  max_done_ = 0;
+}
+
+}  // namespace sttsim::mem

@@ -1,0 +1,58 @@
+#include "sttsim/report/figure.hpp"
+
+#include "sttsim/report/table.hpp"
+#include "sttsim/util/check.hpp"
+#include "sttsim/util/text.hpp"
+
+namespace sttsim::report {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+FigureData with_average_row(FigureData fig) {
+  if (!fig.row_labels.empty() && fig.row_labels.back() == "AVERAGE") {
+    return fig;
+  }
+  fig.row_labels.push_back("AVERAGE");
+  for (Series& s : fig.series) {
+    s.values.push_back(mean(s.values));
+  }
+  return fig;
+}
+
+namespace {
+
+TableBuilder to_table(const FigureData& fig) {
+  std::vector<std::string> headers{fig.row_header};
+  for (const Series& s : fig.series) {
+    headers.push_back(fig.value_unit.empty()
+                          ? s.name
+                          : s.name + " [" + fig.value_unit + "]");
+  }
+  TableBuilder t(std::move(headers));
+  for (std::size_t r = 0; r < fig.row_labels.size(); ++r) {
+    std::vector<std::string> row{fig.row_labels[r]};
+    for (const Series& s : fig.series) {
+      STTSIM_CHECK(s.values.size() == fig.row_labels.size());
+      row.push_back(format_double(s.values[r], 2));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string render(const FigureData& fig) {
+  std::string out = fig.title + "\n";
+  out += to_table(fig).render();
+  return out;
+}
+
+std::string render_csv(const FigureData& fig) { return to_table(fig).render_csv(); }
+
+}  // namespace sttsim::report

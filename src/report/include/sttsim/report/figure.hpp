@@ -1,0 +1,36 @@
+// Figure-series containers: the shape of every figure in the paper is
+// "per-kernel bars for one or more configurations, plus an AVERAGE bar".
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sttsim::report {
+
+struct Series {
+  std::string name;            ///< e.g. "Drop-In STT-MRAM D-Cache"
+  std::vector<double> values;  ///< one per row label
+};
+
+struct FigureData {
+  std::string title;        ///< e.g. "Fig. 1 - Performance penalty ..."
+  std::string row_header;   ///< e.g. "kernel"
+  std::string value_unit;   ///< e.g. "%"
+  std::vector<std::string> row_labels;
+  std::vector<Series> series;
+};
+
+/// Arithmetic mean of `values` (0 for empty input).
+double mean(const std::vector<double>& values);
+
+/// Returns a copy with an "AVERAGE" row appended (mean of each series),
+/// matching the figures' AVERAGE bar. No-op if already present.
+FigureData with_average_row(FigureData fig);
+
+/// Renders the figure as a fixed-width table (2 decimals + unit).
+std::string render(const FigureData& fig);
+
+/// Renders as CSV.
+std::string render_csv(const FigureData& fig);
+
+}  // namespace sttsim::report

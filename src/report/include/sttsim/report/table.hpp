@@ -1,0 +1,35 @@
+// Fixed-width text tables for benchmark/report output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sttsim::report {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// Builds a fixed-width table with a header row and separator.
+class TableBuilder {
+ public:
+  /// Declares the columns; every row must match this arity.
+  explicit TableBuilder(std::vector<std::string> headers,
+                        Align data_align = Align::kRight);
+
+  TableBuilder& add_row(std::vector<std::string> cells);
+
+  /// Renders with column widths fitted to content.
+  std::string render() const;
+
+  /// Renders as CSV (no padding, comma-separated, header first).
+  std::string render_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  Align data_align_;
+};
+
+}  // namespace sttsim::report

@@ -1,0 +1,57 @@
+#include "sttsim/report/table.hpp"
+
+#include <algorithm>
+
+#include "sttsim/util/check.hpp"
+#include "sttsim/util/text.hpp"
+
+namespace sttsim::report {
+
+TableBuilder::TableBuilder(std::vector<std::string> headers, Align data_align)
+    : headers_(std::move(headers)), data_align_(data_align) {
+  STTSIM_CHECK(!headers_.empty());
+}
+
+TableBuilder& TableBuilder::add_row(std::vector<std::string> cells) {
+  STTSIM_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TableBuilder::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& row,
+                            bool header) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += "  ";
+      // First column (labels) and headers are left-aligned.
+      const bool left =
+          header || c == 0 || data_align_ == Align::kLeft;
+      out += left ? pad_right(row[c], widths[c])
+                  : pad_left(row[c], widths[c]);
+    }
+    out += '\n';
+  };
+  emit_row(headers_, /*header=*/true);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  out += std::string(total >= 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, /*header=*/false);
+  return out;
+}
+
+std::string TableBuilder::render_csv() const {
+  std::string out = join(headers_, ",") + "\n";
+  for (const auto& row : rows_) out += join(row, ",") + "\n";
+  return out;
+}
+
+}  // namespace sttsim::report

@@ -1,0 +1,14 @@
+// Core simulated-time types.
+#pragma once
+
+#include <cstdint>
+
+namespace sttsim::sim {
+
+/// Absolute simulated time in CPU clock cycles (1 GHz in the paper's setup).
+using Cycle = std::uint64_t;
+
+/// A duration in cycles.
+using Cycles = std::uint64_t;
+
+}  // namespace sttsim::sim

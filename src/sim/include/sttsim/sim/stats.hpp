@@ -1,0 +1,90 @@
+// Statistics gathered by one simulation run.
+//
+// Counters are split so that every figure in the paper can be computed
+// directly: Fig. 4 needs stall cycles attributed to reads vs writes, the
+// energy report needs raw array access counts, Fig. 7/8 need front-structure
+// hit rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sttsim/sim/cycle.hpp"
+
+namespace sttsim::sim {
+
+/// Why the core was stalled during a given cycle.
+enum class StallCause {
+  kRead,        ///< waiting for load data
+  kWrite,       ///< store buffer full / write port busy
+  kStructural,  ///< bank conflict with a background operation
+};
+
+/// Counters owned by the data-memory system (DL1 + front structure + L2).
+struct MemStats {
+  // Demand stream.
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t prefetches = 0;
+
+  // Front structure (VWB / L0 / EMSHR buffer). Zero in drop-in configs.
+  std::uint64_t front_hits = 0;
+  std::uint64_t front_misses = 0;
+  std::uint64_t front_store_hits = 0;
+  std::uint64_t promotions = 0;        ///< lines promoted into the front
+  std::uint64_t front_writebacks = 0;  ///< dirty front evictions to L1
+  std::uint64_t prefetch_hits = 0;     ///< demand promotions served from
+                                       ///< MSHR fill registers (prefetched)
+
+  // L1 data array behaviour.
+  std::uint64_t l1_read_hits = 0;
+  std::uint64_t l1_write_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l1_writebacks = 0;  ///< dirty L1 victims to L2
+
+  // L2 / memory.
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+
+  // Raw array port activity, for the energy model.
+  std::uint64_t l1_array_reads = 0;
+  std::uint64_t l1_array_writes = 0;
+  std::uint64_t l2_array_reads = 0;
+  std::uint64_t l2_array_writes = 0;
+
+  // Contention.
+  std::uint64_t bank_conflict_cycles = 0;
+
+  double front_hit_rate() const;
+  double l1_miss_rate() const;
+};
+
+/// Counters owned by the core model.
+struct CoreStats {
+  std::uint64_t instructions = 0;  ///< all retired ops (exec+mem+prefetch)
+  std::uint64_t mem_instructions = 0;
+  Cycles exec_cycles = 0;        ///< non-memory pipeline cycles
+  Cycles read_stall_cycles = 0;  ///< StallCause::kRead
+  Cycles write_stall_cycles = 0;
+  Cycles structural_stall_cycles = 0;
+  Cycle total_cycles = 0;  ///< end-of-run simulated time
+
+  Cycles stall_cycles() const {
+    return read_stall_cycles + write_stall_cycles + structural_stall_cycles;
+  }
+  double cpi() const;
+};
+
+/// Everything one run produces.
+struct RunStats {
+  CoreStats core;
+  MemStats mem;
+};
+
+/// Multi-line human-readable dump (used by examples and --verbose benches).
+std::string to_string(const RunStats& s);
+
+/// Flat JSON object with every counter (stable keys; for tooling).
+std::string to_json(const RunStats& s);
+
+}  // namespace sttsim::sim

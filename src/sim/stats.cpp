@@ -1,0 +1,98 @@
+#include "sttsim/sim/stats.hpp"
+
+#include "sttsim/util/text.hpp"
+
+namespace sttsim::sim {
+
+double MemStats::front_hit_rate() const {
+  const std::uint64_t total = front_hits + front_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(front_hits) /
+                          static_cast<double>(total);
+}
+
+double MemStats::l1_miss_rate() const {
+  const std::uint64_t total = l1_read_hits + l1_write_hits + l1_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(l1_misses) /
+                          static_cast<double>(total);
+}
+
+double CoreStats::cpi() const {
+  return instructions == 0 ? 0.0
+                           : static_cast<double>(total_cycles) /
+                                 static_cast<double>(instructions);
+}
+
+std::string to_string(const RunStats& s) {
+  std::string out;
+  out += strprintf("cycles            : %llu\n",
+                   static_cast<unsigned long long>(s.core.total_cycles));
+  out += strprintf("instructions      : %llu (mem %llu)\n",
+                   static_cast<unsigned long long>(s.core.instructions),
+                   static_cast<unsigned long long>(s.core.mem_instructions));
+  out += strprintf("CPI               : %.3f\n", s.core.cpi());
+  out += strprintf("stalls (r/w/str)  : %llu / %llu / %llu\n",
+                   static_cast<unsigned long long>(s.core.read_stall_cycles),
+                   static_cast<unsigned long long>(s.core.write_stall_cycles),
+                   static_cast<unsigned long long>(
+                       s.core.structural_stall_cycles));
+  out += strprintf("loads/stores/pref : %llu / %llu / %llu\n",
+                   static_cast<unsigned long long>(s.mem.loads),
+                   static_cast<unsigned long long>(s.mem.stores),
+                   static_cast<unsigned long long>(s.mem.prefetches));
+  out += strprintf("front hit rate    : %.3f (%llu hits, %llu promotions)\n",
+                   s.mem.front_hit_rate(),
+                   static_cast<unsigned long long>(s.mem.front_hits),
+                   static_cast<unsigned long long>(s.mem.promotions));
+  out += strprintf("L1 miss rate      : %.4f (%llu misses)\n",
+                   s.mem.l1_miss_rate(),
+                   static_cast<unsigned long long>(s.mem.l1_misses));
+  out += strprintf("L2 hits/misses    : %llu / %llu\n",
+                   static_cast<unsigned long long>(s.mem.l2_hits),
+                   static_cast<unsigned long long>(s.mem.l2_misses));
+  out += strprintf("bank conflicts    : %llu cycles\n",
+                   static_cast<unsigned long long>(
+                       s.mem.bank_conflict_cycles));
+  return out;
+}
+
+std::string to_json(const RunStats& s) {
+  const auto u = [](std::uint64_t v) {
+    return strprintf("%llu", static_cast<unsigned long long>(v));
+  };
+  std::vector<std::string> fields;
+  const auto add = [&](const char* key, const std::string& value) {
+    fields.push_back(std::string("\"") + key + "\":" + value);
+  };
+  add("total_cycles", u(s.core.total_cycles));
+  add("instructions", u(s.core.instructions));
+  add("mem_instructions", u(s.core.mem_instructions));
+  add("exec_cycles", u(s.core.exec_cycles));
+  add("read_stall_cycles", u(s.core.read_stall_cycles));
+  add("write_stall_cycles", u(s.core.write_stall_cycles));
+  add("cpi", strprintf("%.6f", s.core.cpi()));
+  add("loads", u(s.mem.loads));
+  add("stores", u(s.mem.stores));
+  add("prefetches", u(s.mem.prefetches));
+  add("front_hits", u(s.mem.front_hits));
+  add("front_misses", u(s.mem.front_misses));
+  add("front_store_hits", u(s.mem.front_store_hits));
+  add("promotions", u(s.mem.promotions));
+  add("front_writebacks", u(s.mem.front_writebacks));
+  add("prefetch_hits", u(s.mem.prefetch_hits));
+  add("l1_read_hits", u(s.mem.l1_read_hits));
+  add("l1_write_hits", u(s.mem.l1_write_hits));
+  add("l1_misses", u(s.mem.l1_misses));
+  add("l1_writebacks", u(s.mem.l1_writebacks));
+  add("l2_hits", u(s.mem.l2_hits));
+  add("l2_misses", u(s.mem.l2_misses));
+  add("l1_array_reads", u(s.mem.l1_array_reads));
+  add("l1_array_writes", u(s.mem.l1_array_writes));
+  add("l2_array_reads", u(s.mem.l2_array_reads));
+  add("l2_array_writes", u(s.mem.l2_array_writes));
+  add("bank_conflict_cycles", u(s.mem.bank_conflict_cycles));
+  return "{" + join(fields, ",") + "}";
+}
+
+}  // namespace sttsim::sim

@@ -1,0 +1,47 @@
+#include "sttsim/tech/area.hpp"
+
+#include <cmath>
+
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::tech {
+namespace {
+
+double peripheral_fraction(MemoryTech tech) {
+  switch (tech) {
+    case MemoryTech::kSram:
+      return 0.30;
+    case MemoryTech::kSttMram:
+      return 0.45;  // larger sense amps: low TMR ratio at realistic R-ratios
+  }
+  return 0.30;
+}
+
+}  // namespace
+
+AreaEstimate compute_area(const TechnologyParams& p, double feature_nm) {
+  if (feature_nm <= 0) throw ConfigError("feature size must be positive");
+  const double f_m = feature_nm * 1e-9;
+  const double f2_mm2 = f_m * f_m * 1e6;  // one F^2 in mm^2
+  AreaEstimate a;
+  const double bits = static_cast<double>(p.capacity_bytes) * 8.0;
+  a.cell_area_mm2 = bits * p.cell_area_f2 * f2_mm2;
+  a.peripheral_area_mm2 = a.cell_area_mm2 * peripheral_fraction(p.tech);
+  return a;
+}
+
+std::uint64_t iso_area_capacity(const TechnologyParams& p,
+                                const TechnologyParams& reference,
+                                double feature_nm) {
+  const AreaEstimate ref = compute_area(reference, feature_nm);
+  const AreaEstimate own = compute_area(p, feature_nm);
+  const double ratio = ref.total_mm2() / own.total_mm2();
+  const double raw =
+      static_cast<double>(p.capacity_bytes) * ratio;
+  // Snap down to a power of two: caches come in power-of-two capacities.
+  std::uint64_t cap = 1;
+  while (cap * 2 <= static_cast<std::uint64_t>(raw)) cap *= 2;
+  return cap;
+}
+
+}  // namespace sttsim::tech

@@ -1,0 +1,30 @@
+#include "sttsim/tech/energy.hpp"
+
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::tech {
+
+EnergyBreakdown compute_energy(const TechnologyParams& p,
+                               const AccessCounts& counts,
+                               std::uint64_t elapsed_cycles,
+                               double clock_ghz) {
+  if (clock_ghz <= 0) throw ConfigError("clock frequency must be positive");
+  EnergyBreakdown e;
+  e.dynamic_read_nj = static_cast<double>(counts.reads) * p.read_energy_nj;
+  e.dynamic_write_nj = static_cast<double>(counts.writes) * p.write_energy_nj;
+  // leakage [mW = 1e-3 J/s] * elapsed [ns = 1e-9 s] -> 1e-12 J = pJ;
+  // divide by 1e3 for nJ.
+  const double elapsed_ns = static_cast<double>(elapsed_cycles) / clock_ghz;
+  e.static_nj = p.leakage_mw * elapsed_ns * 1e-3;
+  return e;
+}
+
+double average_power_mw(const EnergyBreakdown& e, std::uint64_t elapsed_cycles,
+                        double clock_ghz) {
+  if (elapsed_cycles == 0) return 0.0;
+  const double elapsed_ns = static_cast<double>(elapsed_cycles) / clock_ghz;
+  // nJ / ns = W; * 1e3 -> mW.
+  return e.total_nj() / elapsed_ns * 1e3;
+}
+
+}  // namespace sttsim::tech

@@ -1,0 +1,15 @@
+// bits.hpp is header-only; this translation unit exists so the library has a
+// concrete object even when only the inline helpers are used, and to host the
+// compile-time self-checks.
+#include "sttsim/util/bits.hpp"
+
+namespace sttsim {
+
+static_assert(is_pow2(1) && is_pow2(64 * kKiB) && !is_pow2(0) && !is_pow2(3));
+static_assert(log2_exact(1) == 0 && log2_exact(4096) == 12);
+static_assert(align_down(0x12345, 64) == 0x12340);
+static_assert(align_up(0x12341, 64) == 0x12380);
+static_assert(ceil_div(7, 2) == 4 && ceil_div(8, 2) == 4);
+static_assert(bits_to_bytes(512) == 64 && bits_to_bytes(513) == 65);
+
+}  // namespace sttsim

@@ -1,0 +1,39 @@
+// Lightweight precondition / invariant checking for the simulator.
+//
+// The simulator is deterministic and all failures indicate programming errors
+// (bad configuration values are validated separately and reported via
+// exceptions), so violated checks abort loudly rather than limp on.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace sttsim {
+
+/// Thrown when a user-supplied configuration value is invalid
+/// (e.g. a non-power-of-two cache size). Distinct from internal invariant
+/// violations, which abort via STTSIM_CHECK.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "sttsim: check failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace sttsim
+
+/// Internal invariant check. Always on: the simulator's cost is dominated by
+/// trace interpretation and the branch predictor eats these in practice.
+#define STTSIM_CHECK(expr)                                 \
+  do {                                                     \
+    if (!(expr)) {                                         \
+      ::sttsim::check_failed(#expr, __FILE__, __LINE__);   \
+    }                                                      \
+  } while (false)

@@ -1,0 +1,33 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible across runs and platforms, so we use
+// our own xoshiro256** implementation instead of std::mt19937 conveniences
+// whose distributions are not specified exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace sttsim {
+
+/// xoshiro256** — fast, high-quality, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sttsim

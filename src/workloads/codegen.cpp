@@ -1,0 +1,43 @@
+#include "sttsim/workloads/codegen.hpp"
+
+#include <vector>
+
+#include "sttsim/util/text.hpp"
+
+namespace sttsim::workloads {
+
+CodegenOptions CodegenOptions::all() {
+  CodegenOptions o;
+  o.vectorize = true;
+  o.prefetch = true;
+  o.branch_opts = true;
+  return o;
+}
+
+CodegenOptions CodegenOptions::only_vectorize() {
+  CodegenOptions o;
+  o.vectorize = true;
+  return o;
+}
+
+CodegenOptions CodegenOptions::only_prefetch() {
+  CodegenOptions o;
+  o.prefetch = true;
+  return o;
+}
+
+CodegenOptions CodegenOptions::only_branch_opts() {
+  CodegenOptions o;
+  o.branch_opts = true;
+  return o;
+}
+
+std::string CodegenOptions::label() const {
+  std::vector<std::string> parts;
+  if (vectorize) parts.push_back("vec");
+  if (prefetch) parts.push_back("pf");
+  if (branch_opts) parts.push_back("br");
+  return parts.empty() ? "base" : join(parts, "+");
+}
+
+}  // namespace sttsim::workloads

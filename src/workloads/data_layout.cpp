@@ -1,0 +1,51 @@
+#include "sttsim/workloads/data_layout.hpp"
+
+#include "sttsim/util/check.hpp"
+#include "sttsim/util/text.hpp"
+
+namespace sttsim::workloads {
+
+DataLayout::DataLayout(Addr base, std::uint64_t alignment)
+    : base_(base), next_(base), alignment_(alignment) {
+  if (!is_pow2(alignment)) {
+    throw ConfigError("layout alignment must be a power of two");
+  }
+  next_ = align_up(next_, alignment_);
+}
+
+Addr DataLayout::alloc(const std::string& name, std::uint64_t bytes) {
+  if (bytes == 0) throw ConfigError("cannot allocate an empty array");
+  if (named_.contains(name)) {
+    throw ConfigError(strprintf("array '%s' allocated twice", name.c_str()));
+  }
+  const Addr a = next_;
+  next_ = align_up(next_ + bytes, alignment_);
+  named_.emplace(name, a);
+  return a;
+}
+
+Matrix DataLayout::matrix(const std::string& name, std::uint64_t rows,
+                          std::uint64_t cols) {
+  Matrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.base = alloc(name, rows * cols * kElem);
+  return m;
+}
+
+Vector DataLayout::vector(const std::string& name, std::uint64_t len) {
+  Vector v;
+  v.len = len;
+  v.base = alloc(name, len * kElem);
+  return v;
+}
+
+Addr DataLayout::addr_of(const std::string& name) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) {
+    throw ConfigError(strprintf("unknown array '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+}  // namespace sttsim::workloads

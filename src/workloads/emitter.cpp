@@ -1,0 +1,78 @@
+#include "sttsim/workloads/emitter.hpp"
+
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::workloads {
+
+Emitter::Emitter(const CodegenOptions& opts, std::uint64_t stream_line_bytes)
+    : opts_(opts), stream_line_bytes_(stream_line_bytes) {
+  STTSIM_CHECK(is_pow2(stream_line_bytes));
+  if (opts_.vectorize) {
+    STTSIM_CHECK(opts_.vector_width >= 2 &&
+                 opts_.vector_width * kElem <= 255);
+  }
+}
+
+void Emitter::flush_exec() {
+  if (pending_exec_ == 0) return;
+  trace_.push_back(cpu::make_exec(pending_exec_));
+  pending_exec_ = 0;
+}
+
+void Emitter::exec(std::uint32_t n) { pending_exec_ += n; }
+
+void Emitter::loop_iter() {
+  // Index update, compare/branch and per-iteration addressing; the
+  // alignment/branch-hint optimizations fold these into one slot
+  // (branchless compare, strength-reduced/unrolled addressing).
+  exec(opts_.branch_opts ? 1 : 3);
+}
+
+void Emitter::loop_setup() { exec(opts_.branch_opts ? 1 : 3); }
+
+void Emitter::flop(std::uint32_t n) { exec(n); }
+
+void Emitter::load(Addr a, unsigned n_elems) {
+  flush_exec();
+  trace_.push_back(cpu::make_load(a, n_elems * kElem));
+}
+
+void Emitter::store(Addr a, unsigned n_elems) {
+  flush_exec();
+  trace_.push_back(cpu::make_store(a, n_elems * kElem));
+}
+
+bool Emitter::first_in_line(Addr a, unsigned bytes) const {
+  // True when [a, a+bytes) begins a new stream line, i.e. the previous
+  // access of a unit-stride walk lived in the preceding line.
+  return (a & (stream_line_bytes_ - 1)) < bytes;
+}
+
+void Emitter::stream_load(Addr a, unsigned n_elems) {
+  const unsigned bytes = n_elems * kElem;
+  if (opts_.prefetch && first_in_line(a, bytes)) {
+    prefetch(a + opts_.prefetch_distance_bytes);
+  }
+  load(a, n_elems);
+}
+
+void Emitter::stream_store(Addr a, unsigned n_elems) {
+  const unsigned bytes = n_elems * kElem;
+  if (opts_.prefetch && first_in_line(a, bytes)) {
+    prefetch(a + opts_.prefetch_distance_bytes);
+  }
+  store(a, n_elems);
+}
+
+void Emitter::prefetch(Addr a) {
+  if (!opts_.prefetch) return;
+  flush_exec();
+  trace_.push_back(cpu::make_prefetch(a));
+}
+
+cpu::Trace Emitter::take() {
+  flush_exec();
+  return std::move(trace_);
+}
+
+}  // namespace sttsim::workloads

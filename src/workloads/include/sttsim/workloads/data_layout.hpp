@@ -1,0 +1,62 @@
+// Virtual data layout for trace generation.
+//
+// Assigns line-aligned base addresses to named arrays in a flat simulated
+// address space and provides matrix/vector addressing helpers. All PolyBench
+// data is double precision (8 bytes/element), as in the reference suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sttsim/util/bits.hpp"
+
+namespace sttsim::workloads {
+
+constexpr unsigned kElem = 8;  ///< sizeof(double)
+
+/// A row-major 2-D array in simulated memory.
+struct Matrix {
+  Addr base = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  Addr at(std::uint64_t i, std::uint64_t j) const {
+    return base + (i * cols + j) * kElem;
+  }
+  std::uint64_t bytes() const { return rows * cols * kElem; }
+};
+
+/// A 1-D array in simulated memory.
+struct Vector {
+  Addr base = 0;
+  std::uint64_t len = 0;
+  Addr at(std::uint64_t i) const { return base + i * kElem; }
+  std::uint64_t bytes() const { return len * kElem; }
+};
+
+/// Sequential allocator: arrays are placed back-to-back, each aligned to a
+/// VWB-line boundary, above a small base offset (no address 0).
+class DataLayout {
+ public:
+  explicit DataLayout(Addr base = 0x10000, std::uint64_t alignment = 128);
+
+  Matrix matrix(const std::string& name, std::uint64_t rows,
+                std::uint64_t cols);
+  Vector vector(const std::string& name, std::uint64_t len);
+
+  /// Base address of a previously allocated array.
+  Addr addr_of(const std::string& name) const;
+
+  /// Total simulated footprint in bytes.
+  std::uint64_t footprint() const { return next_ - base_; }
+
+ private:
+  Addr alloc(const std::string& name, std::uint64_t bytes);
+
+  Addr base_;
+  Addr next_;
+  std::uint64_t alignment_;
+  std::unordered_map<std::string, Addr> named_;
+};
+
+}  // namespace sttsim::workloads

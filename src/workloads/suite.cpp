@@ -1,0 +1,101 @@
+#include "sttsim/workloads/suite.hpp"
+
+#include "sttsim/util/check.hpp"
+#include "sttsim/util/text.hpp"
+#include "sttsim/workloads/data_layout.hpp"
+#include "sttsim/workloads/kernels.hpp"
+
+namespace sttsim::workloads {
+namespace {
+
+std::vector<Kernel> build_suite() {
+  std::vector<Kernel> s;
+  const auto add = [&](std::string name, std::string desc,
+                       std::uint64_t footprint,
+                       std::function<cpu::Trace(const CodegenOptions&)> fn) {
+    s.push_back(Kernel{std::move(name), std::move(desc), footprint,
+                       std::move(fn)});
+  };
+
+  add("atax", "y = A^T (A x), 256x256", (256 * 256 + 2 * 256) * kElem,
+      [](const CodegenOptions& o) { return atax(256, 256, o); });
+  add("bicg", "s = A^T r; q = A p, 256x256",
+      (256 * 256 + 4 * 256) * kElem,
+      [](const CodegenOptions& o) { return bicg(256, 256, o); });
+  add("gemm", "C = aAB + bC, 64^3", 3 * 64 * 64 * kElem,
+      [](const CodegenOptions& o) { return gemm(64, 64, 64, o); });
+  add("gemver", "A += u1v1^T+u2v2^T; x = bA^Ty+z; w = aAx, n=192",
+      (192 * 192 + 8 * 192) * kElem,
+      [](const CodegenOptions& o) { return gemver(192, o); });
+  add("gesummv", "y = aAx + bBx, n=224", (2 * 224 * 224 + 2 * 224) * kElem,
+      [](const CodegenOptions& o) { return gesummv(224, o); });
+  add("mvt", "x1 += Ay1; x2 += A^Ty2, n=256",
+      (256 * 256 + 4 * 256) * kElem,
+      [](const CodegenOptions& o) { return mvt(256, o); });
+  add("syrk", "C = aAA^T + bC, n=m=72", (72 * 72 * 2) * kElem,
+      [](const CodegenOptions& o) { return syrk(72, 72, o); });
+  add("syr2k", "C = a(AB^T+BA^T) + bC, n=m=64", (3 * 64 * 64) * kElem,
+      [](const CodegenOptions& o) { return syr2k(64, 64, o); });
+  add("trisolv", "Lx = b forward substitution, n=512",
+      (512 * 512 + 2 * 512) * kElem,
+      [](const CodegenOptions& o) { return trisolv(512, o); });
+  add("trmm", "B = aAB, A lower-triangular, n=m=64", (2 * 64 * 64) * kElem,
+      [](const CodegenOptions& o) { return trmm(64, 64, o); });
+  add("2mm", "D = aABC + bD, 48^4", (5 * 48 * 48) * kElem,
+      [](const CodegenOptions& o) { return two_mm(48, 48, 48, 48, o); });
+  add("3mm", "G = (AB)(CD), 40^5", (7 * 40 * 40) * kElem,
+      [](const CodegenOptions& o) {
+        return three_mm(40, 40, 40, 40, 40, o);
+      });
+  add("jacobi-1d", "3-point stencil, n=8192, 20 steps", 2 * 8192 * kElem,
+      [](const CodegenOptions& o) { return jacobi_1d(8192, 20, o); });
+  add("jacobi-2d", "5-point stencil, n=96, 10 steps", 2 * 96 * 96 * kElem,
+      [](const CodegenOptions& o) { return jacobi_2d(96, 10, o); });
+  add("cholesky", "Cholesky factorization, n=96", 96 * 96 * kElem,
+      [](const CodegenOptions& o) { return cholesky(96, o); });
+  add("lu", "LU factorization, n=64", 64 * 64 * kElem,
+      [](const CodegenOptions& o) { return lu(64, o); });
+  add("symm", "C = aAB + bC, A symmetric, m=n=56",
+      (56 * 56 * 3) * kElem,
+      [](const CodegenOptions& o) { return symm(56, 56, o); });
+  add("doitgen", "A[r][q][*] = A[r][q][*] . C4, 12x12x48",
+      (12 * 12 * 48 + 48 * 48 + 48) * kElem,
+      [](const CodegenOptions& o) { return doitgen(12, 12, 48, o); });
+  add("seidel-2d", "9-point Gauss-Seidel, n=96, 6 steps", 96 * 96 * kElem,
+      [](const CodegenOptions& o) { return seidel_2d(96, 6, o); });
+  add("covariance", "covariance matrix, 64x64 data", 2 * 64 * 64 * kElem,
+      [](const CodegenOptions& o) { return covariance(64, 64, o); });
+  add("floyd-warshall", "all-pairs shortest paths, n=56", 56 * 56 * kElem,
+      [](const CodegenOptions& o) { return floyd_warshall(56, o); });
+  add("durbin", "Levinson-Durbin recurrence, n=384", 3 * 384 * kElem,
+      [](const CodegenOptions& o) { return durbin(384, o); });
+  add("gramschmidt", "modified Gram-Schmidt QR, 48x48",
+      (3 * 48 * 48) * kElem,
+      [](const CodegenOptions& o) { return gramschmidt(48, 48, o); });
+  add("adi", "alternating-direction implicit, n=96, 4 steps",
+      4 * 96 * 96 * kElem,
+      [](const CodegenOptions& o) { return adi(96, 4, o); });
+  add("fdtd-2d", "finite-difference time-domain, 96x96, 6 steps",
+      3 * 96 * 96 * kElem,
+      [](const CodegenOptions& o) { return fdtd_2d(96, 96, 6, o); });
+  add("heat-3d", "7-point 3-D heat stencil, 20^3, 6 steps",
+      2 * 20 * 20 * 20 * kElem,
+      [](const CodegenOptions& o) { return heat_3d(20, 6, o); });
+  return s;
+}
+
+}  // namespace
+
+const std::vector<Kernel>& polybench_suite() {
+  static const std::vector<Kernel> suite = build_suite();
+  return suite;
+}
+
+const Kernel& find_kernel(const std::string& name) {
+  for (const Kernel& k : polybench_suite()) {
+    if (k.name == name) return k;
+  }
+  throw ConfigError(strprintf("unknown kernel '%s'", name.c_str()));
+}
+
+}  // namespace sttsim::workloads

@@ -1,0 +1,56 @@
+// Reference-stream stride detection over dynamic traces.
+//
+// Used by the trace-level prefetch-insertion pass (and by analyses/tests) to
+// find the unit- and constant-stride load streams the paper's manual
+// prefetch intrinsics target. Detection mimics a software stream table: the
+// last few load addresses are matched against new ones; a stream is
+// confirmed after `confirm_threshold` consecutive same-stride hits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sttsim/cpu/trace.hpp"
+
+namespace sttsim::xform {
+
+struct StreamInfo {
+  std::int64_t stride = 0;   ///< bytes between consecutive accesses
+  std::uint64_t length = 0;  ///< number of accesses attributed to the stream
+  Addr first = 0;
+  Addr last = 0;
+};
+
+/// Online stride detector over a bounded table of candidate streams.
+class StrideDetector {
+ public:
+  explicit StrideDetector(unsigned table_entries = 8,
+                          unsigned confirm_threshold = 3);
+
+  /// Feeds one access; returns the stream's stride if this access belongs to
+  /// a confirmed constant-stride stream, std::nullopt otherwise.
+  std::optional<std::int64_t> observe(Addr addr);
+
+  /// Streams confirmed so far (diagnostics).
+  std::vector<StreamInfo> confirmed() const;
+
+  void reset();
+
+ private:
+  struct Entry {
+    Addr last = 0;
+    std::int64_t stride = 0;
+    unsigned run = 0;  ///< consecutive same-stride observations
+    std::uint64_t length = 0;
+    Addr first = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;
+  };
+
+  unsigned confirm_threshold_;
+  std::vector<Entry> table_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace sttsim::xform

@@ -1,0 +1,243 @@
+#include "sttsim/xform/passes.hpp"
+
+#include <algorithm>
+
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::xform {
+namespace {
+
+std::uint64_t instruction_count(const cpu::Trace& t) {
+  return cpu::summarize(t).instructions;
+}
+
+}  // namespace
+
+PrefetchInsertionPass::PrefetchInsertionPass(std::uint64_t distance_bytes,
+                                             std::uint64_t line_bytes,
+                                             unsigned confirm_threshold)
+    : distance_bytes_(distance_bytes),
+      line_bytes_(line_bytes),
+      confirm_threshold_(confirm_threshold) {
+  if (!is_pow2(line_bytes)) {
+    throw ConfigError("prefetch line granularity must be a power of two");
+  }
+}
+
+cpu::Trace PrefetchInsertionPass::run(const cpu::Trace& trace,
+                                      PassStats& stats) {
+  stats.pass = name();
+  stats.ops_before = instruction_count(trace);
+  StrideDetector detector(/*table_entries=*/8, confirm_threshold_);
+  cpu::Trace out;
+  out.reserve(trace.size() + trace.size() / 8);
+  Addr last_line_prefetched = ~0ULL;
+  for (const cpu::TraceOp& op : trace) {
+    if (op.kind == cpu::OpKind::kLoad) {
+      const auto stride = detector.observe(op.addr);
+      if (stride.has_value()) {
+        // Prefetch ahead along the stream, once per target line.
+        const Addr target =
+            static_cast<Addr>(static_cast<std::int64_t>(op.addr) +
+                              (*stride >= 0
+                                   ? static_cast<std::int64_t>(distance_bytes_)
+                                   : -static_cast<std::int64_t>(
+                                         distance_bytes_)));
+        const Addr target_line = align_down(target, line_bytes_);
+        if (target_line != last_line_prefetched) {
+          out.push_back(cpu::make_prefetch(target_line));
+          last_line_prefetched = target_line;
+          stats.ops_inserted += 1;
+        }
+      }
+    }
+    out.push_back(op);
+  }
+  stats.ops_after = instruction_count(out);
+  return out;
+}
+
+VectorPackingPass::VectorPackingPass(unsigned max_elems, unsigned elem_bytes)
+    : max_elems_(max_elems), elem_bytes_(elem_bytes) {
+  if (max_elems < 2) throw ConfigError("vector width must be >= 2");
+  if (max_elems * elem_bytes > 255) {
+    throw ConfigError("vector access exceeds the trace op size field");
+  }
+}
+
+cpu::Trace VectorPackingPass::run(const cpu::Trace& trace, PassStats& stats) {
+  stats.pass = name();
+  stats.ops_before = instruction_count(trace);
+  cpu::Trace out;
+  out.reserve(trace.size());
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    const cpu::TraceOp& op = trace[i];
+    if (!op.is_memory() || op.size != elem_bytes_) {
+      out.push_back(op);
+      ++i;
+      continue;
+    }
+    // Greedily collect a run of same-kind accesses at consecutive addresses,
+    // allowing interleaved exec ops (the per-lane arithmetic that packing
+    // fuses into one SIMD op).
+    std::size_t j = i + 1;
+    unsigned lanes = 1;
+    std::uint32_t folded_exec = 0;
+    Addr next_addr = op.addr + elem_bytes_;
+    std::size_t last_match = i;
+    std::uint32_t pending_exec = 0;
+    while (j < trace.size() && lanes < max_elems_) {
+      const cpu::TraceOp& cand = trace[j];
+      if (cand.kind == cpu::OpKind::kExec && cand.count <= 4) {
+        pending_exec += cand.count;
+        ++j;
+        continue;
+      }
+      if (cand.kind == op.kind && cand.size == elem_bytes_ &&
+          cand.addr == next_addr) {
+        lanes += 1;
+        folded_exec += pending_exec;
+        pending_exec = 0;
+        next_addr += elem_bytes_;
+        last_match = j;
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (lanes >= 2) {
+      cpu::TraceOp wide = op;
+      wide.size = static_cast<std::uint8_t>(lanes * elem_bytes_);
+      out.push_back(wide);
+      // Per-lane arithmetic collapses into one SIMD slot's worth.
+      const std::uint32_t kept = folded_exec / lanes + (folded_exec % lanes != 0);
+      if (kept > 0) out.push_back(cpu::make_exec(kept));
+      stats.ops_merged += lanes - 1;
+      stats.ops_reduced += folded_exec - kept;
+      // Re-emit any exec ops trailing the last matched access.
+      i = last_match + 1;
+      while (i < trace.size() && i < j &&
+             trace[i].kind == cpu::OpKind::kExec) {
+        out.push_back(trace[i]);
+        ++i;
+      }
+    } else {
+      out.push_back(op);
+      ++i;
+    }
+  }
+  stats.ops_after = instruction_count(out);
+  return out;
+}
+
+RedundantLoadPass::RedundantLoadPass(unsigned register_window)
+    : register_window_(register_window) {
+  if (register_window == 0) throw ConfigError("register window must be >= 1");
+}
+
+cpu::Trace RedundantLoadPass::run(const cpu::Trace& trace, PassStats& stats) {
+  stats.pass = name();
+  stats.ops_before = instruction_count(trace);
+  // Sliding window of live [addr, addr+size) ranges held in registers.
+  struct LiveRange {
+    Addr addr = 0;
+    unsigned size = 0;
+  };
+  std::vector<LiveRange> live;
+  live.reserve(register_window_);
+  const auto overlaps = [](const LiveRange& r, Addr a, unsigned size) {
+    return a < r.addr + r.size && r.addr < a + size;
+  };
+  const auto covers = [](const LiveRange& r, Addr a, unsigned size) {
+    return r.addr <= a && a + size <= r.addr + r.size;
+  };
+  const auto remember = [&](Addr a, unsigned size) {
+    if (live.size() == register_window_) live.erase(live.begin());
+    live.push_back(LiveRange{a, size});
+  };
+
+  cpu::Trace out;
+  out.reserve(trace.size());
+  for (const cpu::TraceOp& op : trace) {
+    switch (op.kind) {
+      case cpu::OpKind::kLoad: {
+        bool redundant = false;
+        for (const LiveRange& r : live) {
+          if (covers(r, op.addr, op.size)) {
+            redundant = true;
+            break;
+          }
+        }
+        if (redundant) {
+          // The value is in a register: the load disappears, its data
+          // movement becomes a (free) register read.
+          stats.ops_merged += 1;
+          continue;
+        }
+        remember(op.addr, op.size);
+        out.push_back(op);
+        break;
+      }
+      case cpu::OpKind::kStore: {
+        // A store both clobbers overlapping stale copies and (store-to-load
+        // forwarding) leaves its own value live.
+        std::erase_if(live, [&](const LiveRange& r) {
+          return overlaps(r, op.addr, op.size);
+        });
+        remember(op.addr, op.size);
+        out.push_back(op);
+        break;
+      }
+      case cpu::OpKind::kExec:
+      case cpu::OpKind::kPrefetch:
+        out.push_back(op);
+        break;
+    }
+  }
+  stats.ops_after = instruction_count(out);
+  return out;
+}
+
+BranchOverheadPass::BranchOverheadPass(std::uint32_t threshold)
+    : threshold_(threshold) {
+  if (threshold == 0) throw ConfigError("threshold must be nonzero");
+}
+
+cpu::Trace BranchOverheadPass::run(const cpu::Trace& trace, PassStats& stats) {
+  stats.pass = name();
+  stats.ops_before = instruction_count(trace);
+  cpu::Trace out;
+  out.reserve(trace.size());
+  for (const cpu::TraceOp& op : trace) {
+    if (op.kind == cpu::OpKind::kExec && op.count > 1 &&
+        op.count <= threshold_) {
+      cpu::TraceOp reduced = op;
+      reduced.count = op.count - 1;
+      stats.ops_reduced += 1;
+      out.push_back(reduced);
+    } else {
+      out.push_back(op);
+    }
+  }
+  stats.ops_after = instruction_count(out);
+  return out;
+}
+
+PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
+  STTSIM_CHECK(pass != nullptr);
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+cpu::Trace PassManager::run(cpu::Trace trace) {
+  stats_.clear();
+  for (const auto& pass : passes_) {
+    PassStats s;
+    trace = pass->run(trace, s);
+    stats_.push_back(s);
+  }
+  return trace;
+}
+
+}  // namespace sttsim::xform

@@ -1,0 +1,85 @@
+#include "sttsim/xform/stride.hpp"
+
+#include <cstdlib>
+
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::xform {
+
+StrideDetector::StrideDetector(unsigned table_entries,
+                               unsigned confirm_threshold)
+    : confirm_threshold_(confirm_threshold) {
+  if (table_entries == 0) throw ConfigError("stride table must have entries");
+  if (confirm_threshold == 0) {
+    throw ConfigError("confirmation threshold must be nonzero");
+  }
+  table_.resize(table_entries);
+}
+
+std::optional<std::int64_t> StrideDetector::observe(Addr addr) {
+  ++clock_;
+  // Match against an existing candidate: the access continues stream E if
+  // addr == E.last + E.stride (confirmed continuation) or is "near" E.last
+  // (within 4 KiB) to start/retrain a candidate.
+  Entry* best = nullptr;
+  for (Entry& e : table_) {
+    if (!e.valid) continue;
+    const std::int64_t delta =
+        static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(e.last);
+    if (delta == 0) continue;
+    if (e.stride != 0 && delta == e.stride) {
+      e.last = addr;
+      e.run += 1;
+      e.length += 1;
+      e.lru = clock_;
+      return e.run >= confirm_threshold_
+                 ? std::optional<std::int64_t>(e.stride)
+                 : std::nullopt;
+    }
+    if (std::llabs(delta) <= 4096 && best == nullptr) best = &e;
+  }
+  if (best != nullptr) {
+    // Retrain this candidate with the new stride.
+    const std::int64_t delta = static_cast<std::int64_t>(addr) -
+                               static_cast<std::int64_t>(best->last);
+    best->stride = delta;
+    best->last = addr;
+    best->run = 1;
+    best->length += 1;
+    best->lru = clock_;
+    return std::nullopt;
+  }
+  // Allocate a fresh candidate (LRU replacement).
+  Entry* victim = &table_[0];
+  for (Entry& e : table_) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.lru < victim->lru) victim = &e;
+  }
+  *victim = Entry{};
+  victim->valid = true;
+  victim->first = addr;
+  victim->last = addr;
+  victim->length = 1;
+  victim->lru = clock_;
+  return std::nullopt;
+}
+
+std::vector<StreamInfo> StrideDetector::confirmed() const {
+  std::vector<StreamInfo> out;
+  for (const Entry& e : table_) {
+    if (e.valid && e.run >= confirm_threshold_) {
+      out.push_back(StreamInfo{e.stride, e.length, e.first, e.last});
+    }
+  }
+  return out;
+}
+
+void StrideDetector::reset() {
+  for (Entry& e : table_) e = Entry{};
+  clock_ = 0;
+}
+
+}  // namespace sttsim::xform

@@ -1,0 +1,207 @@
+// Unit tests: src/mem functional cache model (mapping, LRU, write-back
+// state), including parameterized geometry sweeps.
+#include <gtest/gtest.h>
+
+#include "sttsim/mem/set_assoc_cache.hpp"
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::mem {
+namespace {
+
+CacheGeometry small_geom() { return CacheGeometry{1024, 2, 64}; }  // 8 sets
+
+TEST(CacheGeometry, DerivedQuantities) {
+  const CacheGeometry g{64 * kKiB, 2, 64};
+  EXPECT_EQ(g.num_lines(), 1024u);
+  EXPECT_EQ(g.num_sets(), 512u);
+}
+
+TEST(CacheGeometry, ValidateRejectsBadShapes) {
+  EXPECT_THROW((CacheGeometry{0, 2, 64}.validate()), ConfigError);
+  EXPECT_THROW((CacheGeometry{1000, 2, 64}.validate()), ConfigError);
+  EXPECT_THROW((CacheGeometry{1024, 0, 64}.validate()), ConfigError);
+  EXPECT_THROW((CacheGeometry{1024, 2, 48}.validate()), ConfigError);
+  EXPECT_THROW((CacheGeometry{64, 2, 64}.validate()), ConfigError);
+  EXPECT_NO_THROW((CacheGeometry{1024, 2, 64}.validate()));
+}
+
+TEST(SetAssocCache, MissThenFillThenHit) {
+  SetAssocCache c(small_geom());
+  EXPECT_FALSE(c.access(0x100, false));
+  c.fill(0x100, false);
+  EXPECT_TRUE(c.access(0x100, false));
+  EXPECT_TRUE(c.access(0x13F, false));   // same line
+  EXPECT_FALSE(c.access(0x140, false));  // next line
+}
+
+TEST(SetAssocCache, LineAddrMasksOffset) {
+  SetAssocCache c(small_geom());
+  EXPECT_EQ(c.line_addr(0x17F), 0x140u);
+  EXPECT_EQ(c.line_addr(0x140), 0x140u);
+}
+
+TEST(SetAssocCache, ProbeDoesNotTouchLru) {
+  SetAssocCache c(small_geom());
+  // Set 0, 2 ways: lines 0x000, 0x200 (stride = sets*line = 512).
+  c.fill(0x000, false);
+  c.fill(0x200, false);
+  // 0x000 is LRU. Probing it must NOT promote it.
+  EXPECT_TRUE(c.probe(0x000));
+  const FillOutcome out = c.fill(0x400, false);
+  EXPECT_TRUE(out.victim_valid);
+  EXPECT_EQ(out.victim_addr, 0x000u);
+}
+
+TEST(SetAssocCache, AccessPromotesToMru) {
+  SetAssocCache c(small_geom());
+  c.fill(0x000, false);
+  c.fill(0x200, false);
+  EXPECT_TRUE(c.access(0x000, false));  // promote
+  const FillOutcome out = c.fill(0x400, false);
+  EXPECT_EQ(out.victim_addr, 0x200u);
+}
+
+TEST(SetAssocCache, FillPrefersInvalidWay) {
+  SetAssocCache c(small_geom());
+  c.fill(0x000, false);
+  const FillOutcome out = c.fill(0x200, false);
+  EXPECT_FALSE(out.victim_valid);
+}
+
+TEST(SetAssocCache, WriteMarksDirtyAndEvictionReportsIt) {
+  SetAssocCache c(small_geom());
+  c.fill(0x000, false);
+  EXPECT_FALSE(c.is_dirty(0x000));
+  EXPECT_TRUE(c.access(0x000, true));
+  EXPECT_TRUE(c.is_dirty(0x000));
+  c.fill(0x200, false);
+  c.access(0x200, false);
+  c.access(0x000, false);  // make 0x200 the LRU
+  const FillOutcome out = c.fill(0x400, false);
+  EXPECT_EQ(out.victim_addr, 0x200u);
+  EXPECT_FALSE(out.victim_dirty);
+  const FillOutcome out2 = c.fill(0x600, false);
+  EXPECT_EQ(out2.victim_addr, 0x000u);
+  EXPECT_TRUE(out2.victim_dirty);
+}
+
+TEST(SetAssocCache, FillDirtyFlag) {
+  SetAssocCache c(small_geom());
+  c.fill(0x000, true);
+  EXPECT_TRUE(c.is_dirty(0x000));
+}
+
+TEST(SetAssocCache, InvalidateReturnsDirtiness) {
+  SetAssocCache c(small_geom());
+  c.fill(0x000, false);
+  c.fill(0x040, true);
+  EXPECT_FALSE(c.invalidate(0x000));
+  EXPECT_TRUE(c.invalidate(0x040));
+  EXPECT_FALSE(c.invalidate(0x080));  // absent
+  EXPECT_FALSE(c.probe(0x000));
+  EXPECT_FALSE(c.probe(0x040));
+}
+
+TEST(SetAssocCache, MarkDirty) {
+  SetAssocCache c(small_geom());
+  c.fill(0x000, false);
+  c.mark_dirty(0x000);
+  EXPECT_TRUE(c.is_dirty(0x000));
+}
+
+TEST(SetAssocCache, VictimAddressReconstruction) {
+  SetAssocCache c(small_geom());
+  // Set index for 0x1340: (0x1340/64) % 8 = (77) % 8 = 5.
+  c.fill(0x1340, false);
+  c.fill(0x1340 + 512, false);
+  const FillOutcome out = c.fill(0x1340 + 1024, false);
+  EXPECT_TRUE(out.victim_valid);
+  EXPECT_EQ(out.victim_addr, 0x1340u);
+}
+
+TEST(SetAssocCache, ValidLinesCount) {
+  SetAssocCache c(small_geom());
+  EXPECT_EQ(c.valid_lines(), 0u);
+  c.fill(0x000, false);
+  c.fill(0x040, false);
+  EXPECT_EQ(c.valid_lines(), 2u);
+  c.invalidate(0x000);
+  EXPECT_EQ(c.valid_lines(), 1u);
+}
+
+TEST(SetAssocCache, ResetClearsEverything) {
+  SetAssocCache c(small_geom());
+  c.fill(0x000, true);
+  c.reset();
+  EXPECT_EQ(c.valid_lines(), 0u);
+  EXPECT_FALSE(c.probe(0x000));
+}
+
+TEST(SetAssocCache, DistinctSetsDoNotInterfere) {
+  SetAssocCache c(small_geom());
+  // Fill every set with both ways; no evictions must occur.
+  for (Addr set = 0; set < 8; ++set) {
+    for (Addr way = 0; way < 2; ++way) {
+      const FillOutcome out = c.fill(set * 64 + way * 512, false);
+      EXPECT_FALSE(out.victim_valid);
+    }
+  }
+  EXPECT_EQ(c.valid_lines(), 16u);
+}
+
+TEST(SetAssocCache, FullyAssociativeBehavesAsLruQueue) {
+  SetAssocCache c(CacheGeometry{256, 4, 64});  // 1 set, 4 ways
+  c.fill(0 * 64, false);
+  c.fill(1 * 64, false);
+  c.fill(2 * 64, false);
+  c.fill(3 * 64, false);
+  c.access(0, false);  // 0 becomes MRU; LRU is line 1
+  const FillOutcome out = c.fill(4 * 64, false);
+  EXPECT_EQ(out.victim_addr, 64u);
+}
+
+// ---- Parameterized sweep: LRU + mapping invariants across geometries. ----
+
+struct GeomCase {
+  std::uint64_t capacity;
+  unsigned assoc;
+  std::uint64_t line;
+};
+
+class CacheGeometrySweep : public ::testing::TestWithParam<GeomCase> {};
+
+TEST_P(CacheGeometrySweep, FillsToCapacityWithoutEviction) {
+  const GeomCase p = GetParam();
+  SetAssocCache c(CacheGeometry{p.capacity, p.assoc, p.line});
+  const std::uint64_t lines = p.capacity / p.line;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    const FillOutcome out = c.fill(i * p.line, false);
+    EXPECT_FALSE(out.victim_valid) << "line " << i;
+  }
+  EXPECT_EQ(c.valid_lines(), lines);
+  // One more line in any set must evict exactly one.
+  const FillOutcome out = c.fill(p.capacity, false);
+  EXPECT_TRUE(out.victim_valid);
+  EXPECT_EQ(c.valid_lines(), lines);
+}
+
+TEST_P(CacheGeometrySweep, HitAfterFillEverywhere) {
+  const GeomCase p = GetParam();
+  SetAssocCache c(CacheGeometry{p.capacity, p.assoc, p.line});
+  const std::uint64_t lines = p.capacity / p.line;
+  for (std::uint64_t i = 0; i < lines; ++i) c.fill(i * p.line, false);
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    EXPECT_TRUE(c.access(i * p.line + (p.line / 2), false)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Values(GeomCase{512, 1, 32}, GeomCase{1024, 2, 32},
+                      GeomCase{1024, 2, 64}, GeomCase{4096, 4, 64},
+                      GeomCase{64 * 1024, 2, 32}, GeomCase{64 * 1024, 2, 64},
+                      GeomCase{2 * 1024 * 1024, 16, 64},
+                      GeomCase{256, 4, 64}));
+
+}  // namespace
+}  // namespace sttsim::mem

@@ -1,0 +1,223 @@
+// Integration & property tests: whole-system invariants that must hold for
+// every kernel and organization — the relationships the paper's figures are
+// built on.
+#include <gtest/gtest.h>
+
+#include "sttsim/cpu/system.hpp"
+#include "sttsim/util/check.hpp"
+#include "sttsim/experiments/harness.hpp"
+#include "sttsim/workloads/kernels.hpp"
+#include "sttsim/workloads/suite.hpp"
+
+namespace sttsim {
+namespace {
+
+using cpu::Dl1Organization;
+using workloads::CodegenOptions;
+
+sim::RunStats run(const cpu::Trace& trace, Dl1Organization org,
+                  unsigned vwb_kbit = 2) {
+  cpu::SystemConfig cfg;
+  cfg.organization = org;
+  cfg.vwb_total_kbit = vwb_kbit;
+  cpu::System system(cfg);
+  return system.run(trace);
+}
+
+// Small, fast kernel instances (not the full-size suite defaults).
+cpu::Trace small_kernel(const std::string& name, const CodegenOptions& o) {
+  if (name == "gemm") return workloads::gemm(24, 24, 24, o);
+  if (name == "atax") return workloads::atax(48, 48, o);
+  if (name == "mvt") return workloads::mvt(48, o);
+  if (name == "jacobi-1d") return workloads::jacobi_1d(2048, 4, o);
+  if (name == "syr2k") return workloads::syr2k(24, 24, o);
+  if (name == "trisolv") return workloads::trisolv(96, o);
+  throw ConfigError("unknown small kernel " + name);
+}
+
+class KernelProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KernelProperty, DropInNvmIsSlowerThanSram) {
+  const auto trace = small_kernel(GetParam(), CodegenOptions::none());
+  const auto sram = run(trace, Dl1Organization::kSramBaseline);
+  const auto nvm = run(trace, Dl1Organization::kNvmDropIn);
+  EXPECT_GT(nvm.core.total_cycles, sram.core.total_cycles);
+}
+
+TEST_P(KernelProperty, VwbNeverSlowerThanDropIn) {
+  const auto trace = small_kernel(GetParam(), CodegenOptions::none());
+  const auto dropin = run(trace, Dl1Organization::kNvmDropIn);
+  const auto vwb = run(trace, Dl1Organization::kNvmVwb);
+  // Allow 1% slack for second-order bank interactions.
+  EXPECT_LE(vwb.core.total_cycles,
+            dropin.core.total_cycles + dropin.core.total_cycles / 100);
+}
+
+TEST_P(KernelProperty, TransformationsSpeedUpTheProposal) {
+  const auto base = small_kernel(GetParam(), CodegenOptions::none());
+  const auto opt = small_kernel(GetParam(), CodegenOptions::all());
+  const auto vwb_base = run(base, Dl1Organization::kNvmVwb);
+  const auto vwb_opt = run(opt, Dl1Organization::kNvmVwb);
+  EXPECT_LT(vwb_opt.core.total_cycles, vwb_base.core.total_cycles);
+}
+
+TEST_P(KernelProperty, TransformationsSpeedUpTheBaselineToo) {
+  const auto base = small_kernel(GetParam(), CodegenOptions::none());
+  const auto opt = small_kernel(GetParam(), CodegenOptions::all());
+  const auto sram_base = run(base, Dl1Organization::kSramBaseline);
+  const auto sram_opt = run(opt, Dl1Organization::kSramBaseline);
+  EXPECT_LT(sram_opt.core.total_cycles, sram_base.core.total_cycles);
+}
+
+TEST_P(KernelProperty, ReadStallsDominateWriteStallsOnTheProposal) {
+  const auto trace = small_kernel(GetParam(), CodegenOptions::none());
+  const auto vwb = run(trace, Dl1Organization::kNvmVwb);
+  EXPECT_GE(vwb.core.read_stall_cycles, vwb.core.write_stall_cycles);
+}
+
+TEST_P(KernelProperty, CycleCountsAreReproducible) {
+  const auto trace = small_kernel(GetParam(), CodegenOptions::all());
+  const auto a = run(trace, Dl1Organization::kNvmVwb);
+  const auto b = run(trace, Dl1Organization::kNvmVwb);
+  EXPECT_EQ(a.core.total_cycles, b.core.total_cycles);
+  EXPECT_EQ(a.mem.l1_misses, b.mem.l1_misses);
+  EXPECT_EQ(a.mem.front_hits, b.mem.front_hits);
+}
+
+TEST_P(KernelProperty, StatsBalance) {
+  const auto trace = small_kernel(GetParam(), CodegenOptions::all());
+  for (const auto org :
+       {Dl1Organization::kSramBaseline, Dl1Organization::kNvmDropIn,
+        Dl1Organization::kNvmVwb, Dl1Organization::kNvmL0,
+        Dl1Organization::kNvmEmshr}) {
+    const auto s = run(trace, org);
+    const auto expect = cpu::summarize(trace);
+    EXPECT_EQ(s.mem.loads, expect.loads) << cpu::to_string(org);
+    EXPECT_EQ(s.mem.stores, expect.stores) << cpu::to_string(org);
+    EXPECT_EQ(s.core.instructions, expect.instructions) << cpu::to_string(org);
+    // Total cycles = exec + stalls (the accounting identity).
+    EXPECT_EQ(s.core.total_cycles,
+              s.core.exec_cycles + s.core.stall_cycles())
+        << cpu::to_string(org);
+    // Front hits + misses = sector-granular load lookups (>= loads).
+    if (org == Dl1Organization::kNvmVwb) {
+      EXPECT_GE(s.mem.front_hits + s.mem.front_misses, s.mem.loads);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KernelProperty,
+                         ::testing::Values("gemm", "atax", "mvt", "jacobi-1d",
+                                           "syr2k", "trisolv"));
+
+TEST(VwbCapacityProperty, BiggerVwbNeverHurtsUnoptimizedStreams) {
+  const auto trace = small_kernel("gemm", CodegenOptions::none());
+  const auto small = run(trace, Dl1Organization::kNvmVwb, 1);
+  const auto medium = run(trace, Dl1Organization::kNvmVwb, 2);
+  const auto large = run(trace, Dl1Organization::kNvmVwb, 4);
+  EXPECT_LE(medium.core.total_cycles,
+            small.core.total_cycles + small.core.total_cycles / 100);
+  EXPECT_LE(large.core.total_cycles,
+            medium.core.total_cycles + medium.core.total_cycles / 100);
+}
+
+TEST(BankingProperty, MoreBanksNeverHurt) {
+  const auto trace = small_kernel("syr2k", CodegenOptions::all());
+  std::uint64_t prev = ~0ULL;
+  for (const unsigned banks : {1u, 2u, 4u, 8u}) {
+    cpu::SystemConfig cfg;
+    cfg.organization = Dl1Organization::kNvmVwb;
+    cfg.nvm_banks = banks;
+    cpu::System system(cfg);
+    const auto s = system.run(trace);
+    EXPECT_LE(s.core.total_cycles, prev + prev / 100) << banks;
+    prev = s.core.total_cycles;
+  }
+}
+
+TEST(StoreBufferProperty, DeeperBuffersNeverHurt) {
+  const auto trace = small_kernel("jacobi-1d", CodegenOptions::none());
+  std::uint64_t prev = ~0ULL;
+  for (const unsigned depth : {1u, 2u, 4u, 8u}) {
+    cpu::SystemConfig cfg;
+    cfg.organization = Dl1Organization::kNvmDropIn;
+    cfg.store_buffer_depth = depth;
+    cpu::System system(cfg);
+    const auto s = system.run(trace);
+    EXPECT_LE(s.core.total_cycles, prev) << depth;
+    prev = s.core.total_cycles;
+  }
+}
+
+TEST(ClockScalingProperty, FasterClockWidensTheNvmGap) {
+  // At 2 GHz the STT read is 7 cycles vs SRAM's 2: the relative penalty
+  // must grow compared to 1 GHz (the paper's motivation for why this gets
+  // worse at advanced nodes).
+  const auto trace = small_kernel("gemm", CodegenOptions::none());
+  double penalty[2];
+  int i = 0;
+  for (const double ghz : {1.0, 2.0}) {
+    cpu::SystemConfig s_cfg;
+    s_cfg.organization = Dl1Organization::kSramBaseline;
+    s_cfg.clock_ghz = ghz;
+    cpu::SystemConfig n_cfg = s_cfg;
+    n_cfg.organization = Dl1Organization::kNvmDropIn;
+    cpu::System sram(s_cfg);
+    cpu::System nvm(n_cfg);
+    penalty[i++] = experiments::penalty_pct(nvm.run(trace), sram.run(trace));
+  }
+  EXPECT_GT(penalty[1], penalty[0]);
+}
+
+TEST(L0VsEmshr, L0CapturesL1HitLocalityEmshrDoesNot) {
+  // A working set resident in the DL1 but bigger than the front: the L0
+  // (allocate-on-access) keeps capturing it, the EMSHR (allocate-on-miss)
+  // stops benefiting once the DL1 holds everything.
+  cpu::Trace trace;
+  for (int rep = 0; rep < 50; ++rep) {
+    for (Addr a = 0; a < 16 * 64; a += 8) {
+      trace.push_back(cpu::make_load(0x10000 + a, 8));
+      trace.push_back(cpu::make_exec(2));
+    }
+  }
+  const auto l0 = run(trace, Dl1Organization::kNvmL0);
+  const auto emshr = run(trace, Dl1Organization::kNvmEmshr);
+  // 16 lines fit in the DL1: after the cold pass the EMSHR never re-fills,
+  // so every load pays the NVM read; the L0 at least catches the 32 B
+  // spatial reuse (4 of 8 accesses per entry... both were cold-filled).
+  EXPECT_GT(emshr.mem.l1_read_hits, l0.mem.l1_read_hits);
+}
+
+TEST(EndToEnd, PaperHeadlineShapeHolds) {
+  // The paper's single-sentence summary: drop-in ~54% -> VWB+transforms ~8%
+  // "even in the worst cases". On a fast subset we check the ordering and
+  // the order of magnitude.
+  experiments::TraceCache cache;
+  const auto kernels = experiments::select_kernels({"trisolv", "gesummv"});
+  double dropin_avg = 0;
+  double opt_avg = 0;
+  for (const auto& k : kernels) {
+    const auto base_cfg =
+        experiments::make_config(Dl1Organization::kSramBaseline);
+    const auto sram_b = experiments::run_kernel(
+        cache, k, base_cfg, CodegenOptions::none());
+    const auto sram_o = experiments::run_kernel(
+        cache, k, base_cfg, CodegenOptions::all());
+    const auto dropin = experiments::run_kernel(
+        cache, k, experiments::make_config(Dl1Organization::kNvmDropIn),
+        CodegenOptions::none());
+    const auto vwb_o = experiments::run_kernel(
+        cache, k, experiments::make_config(Dl1Organization::kNvmVwb),
+        CodegenOptions::all());
+    dropin_avg += experiments::penalty_pct(dropin, sram_b);
+    opt_avg += experiments::penalty_pct(vwb_o, sram_o);
+  }
+  dropin_avg /= static_cast<double>(kernels.size());
+  opt_avg /= static_cast<double>(kernels.size());
+  EXPECT_GT(dropin_avg, 15.0);   // unacceptably large
+  EXPECT_LT(opt_avg, 10.0);      // tolerable
+  EXPECT_LT(opt_avg, dropin_avg / 2);
+}
+
+}  // namespace
+}  // namespace sttsim

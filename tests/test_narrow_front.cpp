@@ -1,0 +1,217 @@
+// Unit tests: the Fig. 8 comparison organizations (L0 cache / EMSHR front).
+#include <gtest/gtest.h>
+
+#include "sttsim/alt/narrow_front_dl1.hpp"
+#include "sttsim/mem/l2_system.hpp"
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::alt {
+namespace {
+
+core::Dl1Config nvm_config() {
+  core::Dl1Config c;
+  c.geometry = {64 * kKiB, 2, 64};
+  c.timing = {1, 4, 2, 4};
+  return c;
+}
+
+class NarrowFrontTest : public ::testing::Test {
+ protected:
+  mem::L2System l2_{mem::L2Config{}};
+};
+
+TEST_F(NarrowFrontTest, FactoriesMatchThePaper2KBitCapacity) {
+  const NarrowFrontConfig l0 = make_l0_config(nvm_config());
+  const NarrowFrontConfig em = make_emshr_config(nvm_config());
+  EXPECT_EQ(l0.front_total_bits(), 2048u);
+  EXPECT_EQ(em.front_total_bits(), 2048u);
+  EXPECT_EQ(l0.policy, FrontAllocPolicy::kOnLoadMiss);
+  EXPECT_EQ(em.policy, FrontAllocPolicy::kOnL1Miss);
+  EXPECT_NO_THROW(l0.validate());
+  EXPECT_NO_THROW(em.validate());
+}
+
+TEST_F(NarrowFrontTest, ConfigRejectsWideEntries) {
+  NarrowFrontConfig c = make_l0_config(nvm_config());
+  c.entry_bytes = 128;  // wider than the DL1 line: not "narrow"
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST_F(NarrowFrontTest, L0ColdLoadThenHit) {
+  NarrowFrontDl1System dl1("l0", make_l0_config(nvm_config()), &l2_);
+  EXPECT_EQ(dl1.load(0x1000, 8, 0), 113u);  // cold: through to memory
+  const sim::Cycle t = 1000;
+  EXPECT_EQ(dl1.load(0x1008, 8, t), t + 1);  // L0 hit (same 32 B entry)
+  EXPECT_EQ(dl1.stats().front_hits, 1u);
+}
+
+TEST_F(NarrowFrontTest, L0EntryIsNarrow) {
+  NarrowFrontDl1System dl1("l0", make_l0_config(nvm_config()), &l2_);
+  dl1.load(0x1000, 8, 0);
+  // 0x1020 is in the same DL1 line but a different 32 B L0 entry:
+  // the L0 misses and the NVM array is read again (4 cycles).
+  const sim::Cycle t = 1000;
+  EXPECT_EQ(dl1.load(0x1020, 8, t), t + 4);
+  EXPECT_EQ(dl1.stats().l1_read_hits, 1u);
+}
+
+TEST_F(NarrowFrontTest, L0AllocatesOnL1HitMisses) {
+  NarrowFrontDl1System dl1("l0", make_l0_config(nvm_config()), &l2_);
+  dl1.store(0x2000, 8, 0);  // write-allocate fills the DL1, not the front
+  EXPECT_TRUE(dl1.l1_contains(0x2000));
+  EXPECT_FALSE(dl1.front_contains(0x2000));
+  dl1.load(0x2000, 8, 500);  // L1 hit, front miss -> L0 allocates
+  EXPECT_TRUE(dl1.front_contains(0x2000));
+  EXPECT_EQ(dl1.load(0x2000, 8, 1000), 1001u);
+}
+
+TEST_F(NarrowFrontTest, EmshrDoesNotAllocateOnL1Hit) {
+  NarrowFrontDl1System dl1("emshr", make_emshr_config(nvm_config()), &l2_);
+  dl1.store(0x2000, 8, 0);   // line into the DL1 (write-allocate)
+  dl1.load(0x2000, 8, 500);  // L1 hit: the EMSHR must NOT retain it
+  EXPECT_FALSE(dl1.front_contains(0x2000));
+  const sim::Cycle t = 1000;
+  EXPECT_EQ(dl1.load(0x2000, 8, t), t + 4);  // pays the NVM read again
+}
+
+TEST_F(NarrowFrontTest, EmshrRetainsMissFills) {
+  NarrowFrontDl1System dl1("emshr", make_emshr_config(nvm_config()), &l2_);
+  dl1.load(0x3000, 8, 0);  // L1 miss fill -> retained in the EMSHR
+  EXPECT_TRUE(dl1.front_contains(0x3000));
+  const sim::Cycle t = 1000;
+  EXPECT_EQ(dl1.load(0x3000, 8, t), t + 1);
+}
+
+TEST_F(NarrowFrontTest, EmshrEntryCoversWholeLine) {
+  NarrowFrontDl1System dl1("emshr", make_emshr_config(nvm_config()), &l2_);
+  dl1.load(0x3000, 8, 0);
+  const sim::Cycle t = 1000;
+  EXPECT_EQ(dl1.load(0x3038, 8, t), t + 1);  // 64 B entry spans the line
+}
+
+TEST_F(NarrowFrontTest, StoreAbsorbedByResidentFrontEntry) {
+  NarrowFrontDl1System dl1("l0", make_l0_config(nvm_config()), &l2_);
+  dl1.load(0x1000, 8, 0);
+  const std::uint64_t writes = dl1.stats().l1_array_writes;
+  dl1.store(0x1008, 8, 500);
+  EXPECT_EQ(dl1.stats().front_store_hits, 1u);
+  EXPECT_EQ(dl1.stats().l1_array_writes, writes);
+}
+
+TEST_F(NarrowFrontTest, DirtyFrontEvictionLandsInArray) {
+  NarrowFrontDl1System dl1("l0", make_l0_config(nvm_config()), &l2_);
+  dl1.load(0x1000, 8, 0);
+  dl1.store(0x1000, 8, 500);  // dirty entry
+  // 8 more distinct entries displace it (8-entry fully-associative L0).
+  for (unsigned i = 1; i <= 8; ++i) {
+    dl1.load(0x1000 + i * 0x100, 8, 500 + i * 200);
+  }
+  EXPECT_EQ(dl1.stats().front_writebacks, 1u);
+  EXPECT_TRUE(dl1.l1_dirty(0x1000));
+}
+
+TEST_F(NarrowFrontTest, L1EvictionInvalidatesAllCoveredEntries) {
+  NarrowFrontConfig cfg = make_l0_config(nvm_config());
+  cfg.dl1.geometry.capacity_bytes = 1024;  // 8 sets
+  NarrowFrontDl1System dl1("l0", cfg, &l2_);
+  dl1.load(0x0000, 8, 0);
+  dl1.load(0x0020, 8, 200);  // both 32 B halves of line 0x0000 in the L0
+  EXPECT_TRUE(dl1.front_contains(0x0000));
+  EXPECT_TRUE(dl1.front_contains(0x0020));
+  dl1.load(0x0200, 8, 400);
+  dl1.load(0x0400, 8, 600);  // evicts DL1 line 0x0000
+  EXPECT_FALSE(dl1.l1_contains(0x0000));
+  EXPECT_FALSE(dl1.front_contains(0x0000));
+  EXPECT_FALSE(dl1.front_contains(0x0020));
+}
+
+TEST_F(NarrowFrontTest, PrefetchCapturesIntoFront) {
+  NarrowFrontDl1System dl1("l0", make_l0_config(nvm_config()), &l2_);
+  dl1.load(0x1000, 8, 0);      // line in the DL1
+  dl1.prefetch(0x1020, 500);   // second half into the L0 (NVM read ~505)
+  const sim::Cycle t = 600;
+  EXPECT_EQ(dl1.load(0x1020, 8, t), t + 1);
+  EXPECT_EQ(dl1.stats().front_hits, 1u);
+}
+
+TEST_F(NarrowFrontTest, EmshrPrefetchAlsoCaptures) {
+  NarrowFrontDl1System dl1("emshr", make_emshr_config(nvm_config()), &l2_);
+  dl1.store(0x2000, 8, 0);    // L1-resident, not front-resident
+  dl1.prefetch(0x2000, 500);  // explicit hint captures even on L1 hit
+  EXPECT_TRUE(dl1.front_contains(0x2000));
+}
+
+TEST_F(NarrowFrontTest, PrefetchDroppedWhenMshrFull) {
+  NarrowFrontConfig cfg = make_l0_config(nvm_config());
+  cfg.mshr_entries = 1;
+  NarrowFrontDl1System dl1("l0", cfg, &l2_);
+  // First prefetch misses L1 and takes the only MSHR (fill ~114).
+  dl1.prefetch(0x8000, 0);
+  // Second prefetch (L1 miss) at cycle 1 must be dropped, not queued.
+  const std::uint64_t l2_traffic =
+      dl1.stats().l2_hits + dl1.stats().l2_misses;
+  dl1.prefetch(0x9000, 1);
+  EXPECT_EQ(dl1.stats().l2_hits + dl1.stats().l2_misses, l2_traffic);
+  EXPECT_FALSE(dl1.front_contains(0x9000));
+}
+
+TEST_F(NarrowFrontTest, LoadMergesWithInFlightPrefetchFill) {
+  NarrowFrontDl1System dl1("l0", make_l0_config(nvm_config()), &l2_);
+  dl1.prefetch(0x8000, 0);  // L2 miss fill arrives ~1+1+12+100 = 114
+  const sim::Cycle done = dl1.load(0x8000, 8, 10);
+  EXPECT_GT(done, 100u);
+  EXPECT_LE(done, 120u);  // merged, not a second round trip
+  EXPECT_EQ(dl1.stats().l2_misses, 1u);
+}
+
+TEST_F(NarrowFrontTest, WriteBufferAbsorbsStores) {
+  NarrowFrontDl1System dl1("wbuf", make_write_buffer_config(nvm_config()),
+                           &l2_);
+  dl1.load(0x1000, 8, 0);  // resident in L1, NOT captured (load path)
+  EXPECT_FALSE(dl1.front_contains(0x1000));
+  // A store allocates a write-absorbing entry; the store is absorbed.
+  dl1.store(0x1000, 8, 500);
+  EXPECT_TRUE(dl1.front_contains(0x1000));
+  EXPECT_EQ(dl1.stats().front_store_hits, 1u);
+  // Subsequent stores to the entry cost nothing on the NVM array.
+  const std::uint64_t writes = dl1.stats().l1_array_writes;
+  dl1.store(0x1008, 8, 600);
+  dl1.store(0x1010, 8, 601);
+  EXPECT_EQ(dl1.stats().l1_array_writes, writes);
+}
+
+TEST_F(NarrowFrontTest, WriteBufferDoesNotHelpReads) {
+  NarrowFrontDl1System dl1("wbuf", make_write_buffer_config(nvm_config()),
+                           &l2_);
+  dl1.load(0x1000, 8, 0);
+  // Reads keep paying the NVM array latency (no load-path capture) —
+  // the paper's argument against write-oriented mitigation.
+  const sim::Cycle t = 1000;
+  EXPECT_EQ(dl1.load(0x1000, 8, t), t + 4);
+  EXPECT_EQ(dl1.load(0x1000, 8, t + 100), t + 104);
+}
+
+TEST_F(NarrowFrontTest, WriteBufferEvictionSpillsDirtyEntry) {
+  NarrowFrontDl1System dl1("wbuf", make_write_buffer_config(nvm_config()),
+                           &l2_);
+  dl1.load(0x1000, 8, 0);
+  dl1.store(0x1000, 8, 500);
+  // Displace the entry with 4 more stores (4-entry buffer).
+  for (unsigned i = 1; i <= 4; ++i) {
+    dl1.store(0x1000 + i * 0x100, 8, 500 + i * 100);
+  }
+  EXPECT_GE(dl1.stats().front_writebacks, 1u);
+  EXPECT_TRUE(dl1.l1_dirty(0x1000));
+}
+
+TEST_F(NarrowFrontTest, ResetForgetsEverything) {
+  NarrowFrontDl1System dl1("l0", make_l0_config(nvm_config()), &l2_);
+  dl1.load(0x1000, 8, 0);
+  dl1.reset();
+  EXPECT_FALSE(dl1.front_contains(0x1000));
+  EXPECT_FALSE(dl1.l1_contains(0x1000));
+  EXPECT_EQ(dl1.stats().loads, 0u);
+}
+
+}  // namespace
+}  // namespace sttsim::alt

@@ -1,0 +1,256 @@
+// Unit tests: PlainDl1System timing and state (SRAM baseline & drop-in NVM).
+// Cycle numbers are hand-computed from the model contracts:
+//   load hit  -> max(bank read done, tag done)
+//   load miss -> tag(1) + L2 port(start) + hit latency(12) [+ memory(100)]
+#include <gtest/gtest.h>
+
+#include "sttsim/core/plain_dl1.hpp"
+#include "sttsim/mem/l2_system.hpp"
+
+namespace sttsim::core {
+namespace {
+
+Dl1Config nvm_config() {
+  Dl1Config c;
+  c.geometry = {64 * kKiB, 2, 64};
+  c.timing = {1, 4, 2, 4};  // tag, read, write, banks (Table I STT @1GHz)
+  return c;
+}
+
+Dl1Config sram_config() {
+  Dl1Config c;
+  c.geometry = {64 * kKiB, 2, 32};
+  c.timing = {1, 1, 1, 4};
+  return c;
+}
+
+class PlainDl1Test : public ::testing::Test {
+ protected:
+  mem::L2System l2_{mem::L2Config{}};
+};
+
+TEST_F(PlainDl1Test, ColdLoadGoesToMemory) {
+  PlainDl1System dl1("nvm", nvm_config(), &l2_);
+  // tag 1 + L2 hit latency 12 + memory 100.
+  EXPECT_EQ(dl1.load(0x1000, 8, 0), 113u);
+  EXPECT_EQ(dl1.stats().l1_misses, 1u);
+  EXPECT_EQ(dl1.stats().l2_misses, 1u);
+}
+
+TEST_F(PlainDl1Test, NvmReadHitCostsFourCycles) {
+  PlainDl1System dl1("nvm", nvm_config(), &l2_);
+  dl1.load(0x1000, 8, 0);
+  const sim::Cycle t = 1000;
+  EXPECT_EQ(dl1.load(0x1008, 8, t), t + 4);
+  EXPECT_EQ(dl1.stats().l1_read_hits, 1u);
+}
+
+TEST_F(PlainDl1Test, SramReadHitCostsOneCycle) {
+  PlainDl1System dl1("sram", sram_config(), &l2_);
+  dl1.load(0x1000, 8, 0);
+  const sim::Cycle t = 1000;
+  EXPECT_EQ(dl1.load(0x1008, 8, t), t + 1);
+}
+
+TEST_F(PlainDl1Test, L2HitAfterL1Eviction) {
+  Dl1Config cfg = nvm_config();
+  cfg.geometry.capacity_bytes = 1024;  // 8 sets x 2 ways
+  PlainDl1System dl1("nvm", cfg, &l2_);
+  dl1.load(0x0000, 8, 0);  // set 0
+  dl1.load(0x0200, 8, 200);
+  dl1.load(0x0400, 8, 400);  // evicts 0x0000 (set 0 full)
+  EXPECT_FALSE(dl1.contains(0x0000));
+  // Reload: L1 miss but L2 hit: tag 1 + L2 12.
+  const sim::Cycle t = 1000;
+  EXPECT_EQ(dl1.load(0x0000, 8, t), t + 13);
+  EXPECT_EQ(dl1.stats().l2_hits, 1u);
+}
+
+TEST_F(PlainDl1Test, StoreAcceptsInOneCycleWhenBufferFree) {
+  PlainDl1System dl1("nvm", nvm_config(), &l2_);
+  dl1.load(0x1000, 8, 0);  // line resident
+  EXPECT_EQ(dl1.store(0x1000, 8, 100), 101u);
+  EXPECT_EQ(dl1.stats().l1_write_hits, 1u);
+}
+
+TEST_F(PlainDl1Test, StoreBurstBacksUpNvmStoreBuffer) {
+  Dl1Config cfg = nvm_config();
+  cfg.timing.banks = 1;  // all stores share one bank: drain 2 cycles each
+  cfg.store_buffer_depth = 2;
+  PlainDl1System dl1("nvm", cfg, &l2_);
+  dl1.load(0x1000, 8, 0);
+  // Back-to-back stores at 1/cycle into a 2-deep buffer draining 1/2 cycles:
+  // eventually acceptance lags behind `now + 1`.
+  sim::Cycle now = 100;
+  bool stalled = false;
+  for (int i = 0; i < 10; ++i) {
+    const sim::Cycle accepted = dl1.store(0x1000, 8, now);
+    stalled |= accepted > now + 1;
+    now = std::max(accepted, now + 1);
+  }
+  EXPECT_TRUE(stalled);
+}
+
+TEST_F(PlainDl1Test, SramStoreBurstDoesNotStall) {
+  Dl1Config cfg = sram_config();
+  cfg.timing.banks = 1;
+  PlainDl1System dl1("sram", cfg, &l2_);
+  dl1.load(0x1000, 8, 0);
+  sim::Cycle now = 100;
+  for (int i = 0; i < 10; ++i) {
+    const sim::Cycle accepted = dl1.store(0x1000, 8, now);
+    EXPECT_LE(accepted, now + 1);
+    now += 1;
+  }
+}
+
+TEST_F(PlainDl1Test, DirtyEvictionWritesBackToL2) {
+  Dl1Config cfg = nvm_config();
+  cfg.geometry.capacity_bytes = 1024;
+  PlainDl1System dl1("nvm", cfg, &l2_);
+  dl1.load(0x0000, 8, 0);
+  dl1.store(0x0000, 8, 200);  // dirty
+  dl1.load(0x0200, 8, 400);
+  dl1.load(0x0400, 8, 600);  // evicts dirty 0x0000
+  EXPECT_EQ(dl1.stats().l1_writebacks, 1u);
+  EXPECT_TRUE(l2_.contains(0x0000));
+}
+
+TEST_F(PlainDl1Test, WriteMissAllocates) {
+  PlainDl1System dl1("nvm", nvm_config(), &l2_);
+  dl1.store(0x4000, 8, 0);
+  EXPECT_TRUE(dl1.contains(0x4000));
+  EXPECT_EQ(dl1.stats().l1_misses, 1u);
+}
+
+TEST_F(PlainDl1Test, SramMissFillsWholeL2Line) {
+  PlainDl1System dl1("sram", sram_config(), &l2_);
+  dl1.load(0x1000, 8, 0);
+  // The 64 B L2 line covers two 32 B L1 lines.
+  EXPECT_TRUE(dl1.contains(0x1000));
+  EXPECT_TRUE(dl1.contains(0x1020));
+  EXPECT_FALSE(dl1.contains(0x1040));
+  // The sibling access is then a hit.
+  const std::uint64_t misses = dl1.stats().l1_misses;
+  dl1.load(0x1020, 8, 500);
+  EXPECT_EQ(dl1.stats().l1_misses, misses);
+}
+
+TEST_F(PlainDl1Test, PrefetchHidesL2Latency) {
+  PlainDl1System dl1("nvm", nvm_config(), &l2_);
+  dl1.load(0x1000, 8, 0);  // warm the L2 with the line's neighbourhood? no -
+  // use a separate line whose L2 entry exists:
+  dl1.load(0x2000, 8, 200);
+  // Evict nothing; prefetch a brand-new line (L2 miss in background).
+  dl1.prefetch(0x8000, 300);
+  EXPECT_TRUE(dl1.contains(0x8000));
+  // Demand long after the prefetch completes: a plain hit.
+  EXPECT_EQ(dl1.load(0x8000, 8, 600), 604u);
+  EXPECT_EQ(dl1.stats().prefetches, 1u);
+}
+
+TEST_F(PlainDl1Test, DemandShortlyAfterPrefetchWaitsForArrival) {
+  PlainDl1System dl1("nvm", nvm_config(), &l2_);
+  dl1.prefetch(0x8000, 0);  // arrives at ~1+1+12+100 = 114
+  const sim::Cycle done = dl1.load(0x8000, 8, 10);
+  EXPECT_GT(done, 100u);  // waited for the fill, not a 4-cycle hit
+  EXPECT_LE(done, 120u);  // but no second L2 round-trip
+}
+
+TEST_F(PlainDl1Test, PrefetchOfResidentLineIsNoop) {
+  PlainDl1System dl1("nvm", nvm_config(), &l2_);
+  dl1.load(0x1000, 8, 0);
+  const std::uint64_t l2_before =
+      dl1.stats().l2_hits + dl1.stats().l2_misses;
+  dl1.prefetch(0x1000, 100);
+  EXPECT_EQ(dl1.stats().l2_hits + dl1.stats().l2_misses, l2_before);
+}
+
+TEST_F(PlainDl1Test, LineCrossingLoadTouchesBothLines) {
+  PlainDl1System dl1("nvm", nvm_config(), &l2_);
+  dl1.load(0x103C, 8, 0);  // crosses the 0x1000/0x1040 boundary
+  EXPECT_TRUE(dl1.contains(0x1000));
+  EXPECT_TRUE(dl1.contains(0x1040));
+  EXPECT_EQ(dl1.stats().l1_misses, 2u);
+}
+
+TEST_F(PlainDl1Test, ResetClearsContentsAndStats) {
+  PlainDl1System dl1("nvm", nvm_config(), &l2_);
+  dl1.load(0x1000, 8, 0);
+  dl1.reset();
+  EXPECT_FALSE(dl1.contains(0x1000));
+  EXPECT_EQ(dl1.stats().loads, 0u);
+}
+
+TEST_F(PlainDl1Test, BankConflictDelaysConcurrentSameBankReads) {
+  PlainDl1System dl1("nvm", nvm_config(), &l2_);
+  dl1.load(0x1000, 8, 0);
+  dl1.load(0x1000 + 4 * 64, 8, 500);  // same bank (4-bank interleave)
+  // Issue both "simultaneously": second pays the first's occupancy.
+  const sim::Cycle a = dl1.load(0x1000, 8, 1000);
+  const sim::Cycle b = dl1.load(0x1000 + 4 * 64, 8, 1000);
+  EXPECT_EQ(a, 1004u);
+  EXPECT_EQ(b, 1008u);  // queued behind a's array read
+  EXPECT_GT(dl1.stats().bank_conflict_cycles, 0u);
+}
+
+TEST_F(PlainDl1Test, DifferentBanksDoNotConflict) {
+  PlainDl1System dl1("nvm", nvm_config(), &l2_);
+  dl1.load(0x1000, 8, 0);
+  dl1.load(0x1040, 8, 500);  // next line -> next bank
+  const sim::Cycle a = dl1.load(0x1000, 8, 1000);
+  const sim::Cycle b = dl1.load(0x1040, 8, 1000);
+  EXPECT_EQ(a, 1004u);
+  EXPECT_EQ(b, 1004u);
+}
+
+// ---- Parameterized timing sweeps: the latency contract must hold for any
+// (read, write) cycle pair, not just the Table I points. ----
+
+struct TimingCase {
+  unsigned read;
+  unsigned write;
+};
+
+class TimingSweep : public ::testing::TestWithParam<TimingCase> {
+ protected:
+  mem::L2System l2_{mem::L2Config{}};
+};
+
+TEST_P(TimingSweep, ReadHitLatencyEqualsArrayRead) {
+  Dl1Config cfg = nvm_config();
+  cfg.timing.read_cycles = GetParam().read;
+  cfg.timing.write_cycles = GetParam().write;
+  PlainDl1System dl1("sweep", cfg, &l2_);
+  dl1.load(0x1000, 8, 0);
+  const sim::Cycle t = 1000;
+  EXPECT_EQ(dl1.load(0x1000, 8, t),
+            t + std::max(GetParam().read, cfg.timing.tag_cycles));
+}
+
+TEST_P(TimingSweep, IsolatedStoreNeverStallsTheCore) {
+  Dl1Config cfg = nvm_config();
+  cfg.timing.read_cycles = GetParam().read;
+  cfg.timing.write_cycles = GetParam().write;
+  PlainDl1System dl1("sweep", cfg, &l2_);
+  dl1.load(0x1000, 8, 0);
+  EXPECT_EQ(dl1.store(0x1000, 8, 1000), 1001u);
+}
+
+TEST_P(TimingSweep, MissLatencyIsTechnologyIndependent) {
+  // L1 miss cost is tag + L2 path; the NVM data-array timing must not leak
+  // into the critical miss path (fills retire via the fill port).
+  Dl1Config cfg = nvm_config();
+  cfg.timing.read_cycles = GetParam().read;
+  cfg.timing.write_cycles = GetParam().write;
+  PlainDl1System dl1("sweep", cfg, &l2_);
+  EXPECT_EQ(dl1.load(0x1000, 8, 0), 113u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Timings, TimingSweep,
+                         ::testing::Values(TimingCase{1, 1}, TimingCase{2, 5},
+                                           TimingCase{4, 2}, TimingCase{7, 4},
+                                           TimingCase{8, 8}));
+
+}  // namespace
+}  // namespace sttsim::core

@@ -1,0 +1,147 @@
+// Unit tests: wear tracking and endurance projection.
+#include <gtest/gtest.h>
+
+#include "sttsim/cpu/system.hpp"
+#include "sttsim/mem/set_assoc_cache.hpp"
+#include "sttsim/reliability/endurance.hpp"
+#include "sttsim/util/check.hpp"
+#include "sttsim/workloads/kernels.hpp"
+
+namespace sttsim::reliability {
+namespace {
+
+TEST(Wear, AccessWritesIncrementFrameCounter) {
+  mem::SetAssocCache c(mem::CacheGeometry{1024, 2, 64});
+  c.fill(0x0000, false);  // the fill itself writes once
+  EXPECT_EQ(c.frame_writes(0x0000), 1u);
+  c.access(0x0000, /*is_write=*/true);
+  c.access(0x0000, /*is_write=*/true);
+  EXPECT_EQ(c.frame_writes(0x0000), 3u);
+  c.access(0x0000, /*is_write=*/false);  // reads do not wear
+  EXPECT_EQ(c.frame_writes(0x0000), 3u);
+}
+
+TEST(Wear, MarkDirtyCountsAsWrite) {
+  mem::SetAssocCache c(mem::CacheGeometry{1024, 2, 64});
+  c.fill(0x0000, false);
+  c.mark_dirty(0x0000);
+  EXPECT_EQ(c.frame_writes(0x0000), 2u);
+}
+
+TEST(Wear, SurvivesReplacement) {
+  mem::SetAssocCache c(mem::CacheGeometry{1024, 2, 64});
+  // Hammer one frame, then replace its resident line: wear persists.
+  c.fill(0x0000, false);
+  for (int i = 0; i < 10; ++i) c.access(0x0000, true);
+  c.fill(0x0200, false);            // second way of set 0
+  c.fill(0x0400, false);            // evicts 0x0000's frame (LRU)
+  EXPECT_GE(c.max_frame_writes(), 11u);  // 1 fill + 10 writes (+ new fill)
+}
+
+TEST(Wear, TotalsAccumulateAcrossFrames) {
+  mem::SetAssocCache c(mem::CacheGeometry{1024, 2, 64});
+  c.fill(0x0000, false);
+  c.fill(0x0040, false);
+  c.access(0x0000, true);
+  EXPECT_EQ(c.total_writes(), 3u);
+}
+
+TEST(Wear, ResetClearsCounters) {
+  mem::SetAssocCache c(mem::CacheGeometry{1024, 2, 64});
+  c.fill(0x0000, true);
+  c.reset();
+  EXPECT_EQ(c.total_writes(), 0u);
+  EXPECT_EQ(c.max_frame_writes(), 0u);
+}
+
+TEST(Endurance, PaperBudgets) {
+  EXPECT_DOUBLE_EQ(stt_mram_endurance().write_endurance, 1e16);
+  EXPECT_DOUBLE_EQ(reram_endurance().write_endurance, 1e8);
+  EXPECT_DOUBLE_EQ(pram_endurance().write_endurance, 1e6);
+}
+
+TEST(Endurance, WriteRates) {
+  WearProfile w;
+  w.max_frame_writes = 1000;
+  w.total_writes = 16000;
+  w.frames = 16;
+  w.elapsed_cycles = 1'000'000;  // 1 ms at 1 GHz
+  w.clock_ghz = 1.0;
+  EXPECT_DOUBLE_EQ(w.max_write_rate_hz(), 1000.0 / 1e-3);  // 1e6 writes/s
+  EXPECT_DOUBLE_EQ(w.avg_write_rate_hz(), 1e6);
+}
+
+TEST(Endurance, LifetimeProjection) {
+  WearProfile w;
+  w.max_frame_writes = 1'000'000;  // 1e6 writes over 1 ms -> 1e9 writes/s
+  w.elapsed_cycles = 1'000'000;
+  w.frames = 1;
+  w.clock_ghz = 1.0;
+  // PRAM at 1e6 endurance / 1e9 writes/s = 1 ms to failure.
+  const LifetimeEstimate pram = project_lifetime(w, pram_endurance());
+  EXPECT_NEAR(pram.seconds, 1e-3, 1e-9);
+  // STT-MRAM at 1e16: 1e7 seconds ~ 116 days... still finite but far.
+  const LifetimeEstimate stt = project_lifetime(w, stt_mram_endurance());
+  EXPECT_NEAR(stt.seconds, 1e7, 1);
+}
+
+TEST(Endurance, IdealLevellingUsesAverageRate) {
+  WearProfile w;
+  w.max_frame_writes = 1000;
+  w.total_writes = 2000;  // spread over 100 frames -> avg 20 writes/frame
+  w.frames = 100;
+  w.elapsed_cycles = 1'000'000;  // 1 ms
+  w.clock_ghz = 1.0;
+  const double plain = project_lifetime(w, pram_endurance()).seconds;
+  const double leveled = project_lifetime_leveled(w, pram_endurance()).seconds;
+  // max rate 1e6/s vs avg rate 2e4/s: 50x lifetime from ideal levelling.
+  EXPECT_NEAR(leveled / plain, 50.0, 1e-9);
+}
+
+TEST(Endurance, ZeroWritesMeansUnlimited) {
+  WearProfile w;
+  w.elapsed_cycles = 1000;
+  w.frames = 4;
+  const LifetimeEstimate e = project_lifetime(w, pram_endurance());
+  EXPECT_TRUE(e.effectively_unlimited());
+  EXPECT_EQ(format_lifetime(e), "unlimited (no writes observed)");
+}
+
+TEST(Endurance, FormatLifetimeRanges) {
+  EXPECT_EQ(format_lifetime({30.0}), "30.0 seconds");
+  EXPECT_EQ(format_lifetime({120.0}), "2.0 minutes");
+  EXPECT_EQ(format_lifetime({7200.0}), "2.0 hours");
+  EXPECT_EQ(format_lifetime({3 * 24 * 3600.0}), "3.0 days");
+  EXPECT_EQ(format_lifetime({2 * 365.25 * 24 * 3600.0}), "2.0 years");
+  EXPECT_NE(format_lifetime({1e12}).find("years"), std::string::npos);
+}
+
+TEST(Endurance, RejectsBadInputs) {
+  WearProfile w;
+  EXPECT_THROW(project_lifetime(w, EnduranceSpec{"x", 0}), ConfigError);
+  mem::SetAssocCache c(mem::CacheGeometry{1024, 2, 64});
+  EXPECT_THROW(profile_wear(c, 100, 0.0), ConfigError);
+}
+
+TEST(Endurance, EndToEndSttOutlivesPramByTenOrders) {
+  // Run a store-heavy kernel and compare projected lifetimes — the paper's
+  // reason to dismiss PRAM/ReRAM at L1.
+  cpu::SystemConfig cfg;
+  cfg.organization = cpu::Dl1Organization::kNvmVwb;
+  cpu::System system(cfg);
+  const auto trace =
+      workloads::jacobi_1d(2048, 4, workloads::CodegenOptions::none());
+  const auto stats = system.run(trace);
+  const WearProfile wear =
+      profile_wear(system.dl1().array(), stats.core.total_cycles);
+  EXPECT_GT(wear.max_frame_writes, 0u);
+  const double stt_s = project_lifetime(wear, stt_mram_endurance()).seconds;
+  const double pram_s = project_lifetime(wear, pram_endurance()).seconds;
+  EXPECT_NEAR(stt_s / pram_s, 1e10, 1e10 * 1e-9);
+  EXPECT_TRUE(project_lifetime(wear, stt_mram_endurance())
+                  .effectively_unlimited());
+  EXPECT_LT(project_lifetime(wear, pram_endurance()).years(), 0.1);
+}
+
+}  // namespace
+}  // namespace sttsim::reliability

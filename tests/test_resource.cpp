@@ -1,0 +1,138 @@
+// Unit tests: src/sim (resource timelines, bank sets, stats helpers).
+#include <gtest/gtest.h>
+
+#include "sttsim/sim/resource.hpp"
+#include "sttsim/sim/stats.hpp"
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::sim {
+namespace {
+
+TEST(ResourceTimeline, GrantsImmediatelyWhenFree) {
+  ResourceTimeline r;
+  const Grant g = r.acquire(10, 4);
+  EXPECT_EQ(g.start, 10u);
+  EXPECT_EQ(g.done, 14u);
+  EXPECT_EQ(r.free_at(), 14u);
+}
+
+TEST(ResourceTimeline, SerializesOverlappingRequests) {
+  ResourceTimeline r;
+  r.acquire(0, 10);
+  const Grant g = r.acquire(5, 3);
+  EXPECT_EQ(g.start, 10u);
+  EXPECT_EQ(g.done, 13u);
+}
+
+TEST(ResourceTimeline, IdleGapIsNotBackfilled) {
+  ResourceTimeline r;
+  r.acquire(0, 2);
+  const Grant g = r.acquire(100, 2);
+  EXPECT_EQ(g.start, 100u);
+  EXPECT_EQ(g.done, 102u);
+}
+
+TEST(ResourceTimeline, ResetForgetsOccupancy) {
+  ResourceTimeline r;
+  r.acquire(0, 100);
+  r.reset();
+  EXPECT_EQ(r.acquire(0, 1).start, 0u);
+}
+
+TEST(BankSet, MapsLinesRoundRobin) {
+  BankSet b(4, 64);
+  EXPECT_EQ(b.bank_of(0), 0u);
+  EXPECT_EQ(b.bank_of(64), 1u);
+  EXPECT_EQ(b.bank_of(128), 2u);
+  EXPECT_EQ(b.bank_of(192), 3u);
+  EXPECT_EQ(b.bank_of(256), 0u);
+  // Same line, any offset within it: same bank.
+  EXPECT_EQ(b.bank_of(64 + 63), 1u);
+}
+
+TEST(BankSet, DifferentBanksDoNotConflict) {
+  BankSet b(4, 64);
+  const Grant a = b.acquire(0, 0, 4);
+  const Grant c = b.acquire(64, 0, 4);
+  EXPECT_EQ(a.start, 0u);
+  EXPECT_EQ(c.start, 0u);  // parallel banks
+}
+
+TEST(BankSet, SameBankConflicts) {
+  BankSet b(4, 64);
+  b.acquire(0, 0, 4);
+  const Grant g = b.acquire(256, 0, 4);  // maps to bank 0 again
+  EXPECT_EQ(g.start, 4u);
+}
+
+TEST(BankSet, SingleBankSerializesEverything) {
+  BankSet b(1, 64);
+  b.acquire(0, 0, 4);
+  const Grant g = b.acquire(4096, 0, 4);
+  EXPECT_EQ(g.start, 4u);
+}
+
+TEST(BankSet, RejectsBadConfig) {
+  EXPECT_THROW(BankSet(0, 64), ConfigError);
+  EXPECT_THROW(BankSet(3, 64), ConfigError);
+  EXPECT_THROW(BankSet(4, 48), ConfigError);
+}
+
+TEST(BankSet, ResetClearsAllBanks) {
+  BankSet b(2, 64);
+  b.acquire(0, 0, 100);
+  b.acquire(64, 0, 100);
+  b.reset();
+  EXPECT_EQ(b.acquire(0, 0, 1).start, 0u);
+  EXPECT_EQ(b.acquire(64, 0, 1).start, 0u);
+}
+
+TEST(Stats, FrontHitRate) {
+  MemStats m;
+  EXPECT_DOUBLE_EQ(m.front_hit_rate(), 0.0);
+  m.front_hits = 3;
+  m.front_misses = 1;
+  EXPECT_DOUBLE_EQ(m.front_hit_rate(), 0.75);
+}
+
+TEST(Stats, L1MissRate) {
+  MemStats m;
+  EXPECT_DOUBLE_EQ(m.l1_miss_rate(), 0.0);
+  m.l1_read_hits = 6;
+  m.l1_write_hits = 2;
+  m.l1_misses = 2;
+  EXPECT_DOUBLE_EQ(m.l1_miss_rate(), 0.2);
+}
+
+TEST(Stats, Cpi) {
+  CoreStats c;
+  EXPECT_DOUBLE_EQ(c.cpi(), 0.0);
+  c.instructions = 100;
+  c.total_cycles = 150;
+  EXPECT_DOUBLE_EQ(c.cpi(), 1.5);
+}
+
+TEST(Stats, JsonHasStableKeysAndValues) {
+  RunStats s;
+  s.core.total_cycles = 42;
+  s.core.instructions = 21;
+  s.mem.loads = 7;
+  const std::string j = to_json(s);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"total_cycles\":42"), std::string::npos);
+  EXPECT_NE(j.find("\"loads\":7"), std::string::npos);
+  EXPECT_NE(j.find("\"cpi\":2.000000"), std::string::npos);
+}
+
+TEST(Stats, ToStringMentionsKeyFields) {
+  RunStats s;
+  s.core.total_cycles = 42;
+  s.core.instructions = 21;
+  const std::string str = to_string(s);
+  EXPECT_NE(str.find("42"), std::string::npos);
+  EXPECT_NE(str.find("CPI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sttsim::sim

@@ -1,0 +1,154 @@
+// Unit tests: src/tech (Table I parameters, quantization, energy, area).
+#include <gtest/gtest.h>
+
+#include "sttsim/tech/area.hpp"
+#include "sttsim/tech/energy.hpp"
+#include "sttsim/tech/technology.hpp"
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::tech {
+namespace {
+
+TEST(Technology, TableISramColumn) {
+  const TechnologyParams p = sram_l1d_64kb();
+  EXPECT_EQ(p.tech, MemoryTech::kSram);
+  EXPECT_DOUBLE_EQ(p.read_latency_ns, 0.787);
+  EXPECT_DOUBLE_EQ(p.write_latency_ns, 0.773);
+  EXPECT_DOUBLE_EQ(p.cell_area_f2, 146);
+  EXPECT_EQ(p.capacity_bytes, 64u * 1024);
+  EXPECT_EQ(p.associativity, 2u);
+  EXPECT_EQ(p.line_bits, 256u);
+  EXPECT_EQ(p.line_bytes(), 32u);
+  EXPECT_EQ(p.num_lines(), 2048u);
+  EXPECT_EQ(p.num_sets(), 1024u);
+}
+
+TEST(Technology, TableISttColumn) {
+  const TechnologyParams p = stt_mram_l1d_64kb();
+  EXPECT_EQ(p.tech, MemoryTech::kSttMram);
+  EXPECT_DOUBLE_EQ(p.read_latency_ns, 3.37);
+  EXPECT_DOUBLE_EQ(p.write_latency_ns, 1.86);
+  EXPECT_DOUBLE_EQ(p.leakage_mw, 28.35);
+  EXPECT_DOUBLE_EQ(p.cell_area_f2, 42);
+  EXPECT_EQ(p.line_bits, 512u);
+  EXPECT_EQ(p.line_bytes(), 64u);
+}
+
+TEST(Technology, OneTOneMtjFlipsTheBottleneck) {
+  // Section III: the old high-R-ratio cell reads fast and writes slowly;
+  // the paper's dual-MTJ part is the opposite.
+  const TechnologyParams old_cell = stt_mram_l1d_64kb_1t1mtj();
+  const TechnologyParams new_cell = stt_mram_l1d_64kb();
+  EXPECT_LT(old_cell.read_latency_ns, new_cell.read_latency_ns);
+  EXPECT_GT(old_cell.write_latency_ns, new_cell.write_latency_ns);
+  const CycleTiming t = quantize(old_cell, 1.0);
+  EXPECT_EQ(t.read_cycles, 2u);
+  EXPECT_EQ(t.write_cycles, 5u);
+}
+
+TEST(Technology, QuantizeAt1GHzMatchesPaperAssumption) {
+  // The paper: read 4x SRAM, write 2x SRAM at 1 GHz.
+  const CycleTiming sram = quantize(sram_l1d_64kb(), 1.0);
+  const CycleTiming stt = quantize(stt_mram_l1d_64kb(), 1.0);
+  EXPECT_EQ(sram.read_cycles, 1u);
+  EXPECT_EQ(sram.write_cycles, 1u);
+  EXPECT_EQ(stt.read_cycles, 4u);
+  EXPECT_EQ(stt.write_cycles, 2u);
+}
+
+TEST(Technology, QuantizeAtHigherClock) {
+  const CycleTiming stt2 = quantize(stt_mram_l1d_64kb(), 2.0);
+  EXPECT_EQ(stt2.read_cycles, 7u);   // ceil(3.37 / 0.5)
+  EXPECT_EQ(stt2.write_cycles, 4u);  // ceil(1.86 / 0.5)
+}
+
+TEST(Technology, QuantizeNeverReturnsZero) {
+  const CycleTiming t = quantize(sram_l1d_64kb(), 0.1);  // 10 ns cycle
+  EXPECT_GE(t.read_cycles, 1u);
+  EXPECT_GE(t.write_cycles, 1u);
+}
+
+TEST(Technology, QuantizeRejectsBadClock) {
+  EXPECT_THROW(quantize(sram_l1d_64kb(), 0.0), ConfigError);
+  EXPECT_THROW(quantize(sram_l1d_64kb(), -1.0), ConfigError);
+}
+
+TEST(Technology, ValidateRejectsNonsense) {
+  TechnologyParams p = sram_l1d_64kb();
+  p.capacity_bytes = 3000;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = sram_l1d_64kb();
+  p.associativity = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = sram_l1d_64kb();
+  p.line_bits = 100;  // not a power of two
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = sram_l1d_64kb();
+  p.read_latency_ns = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Technology, ScaleCapacityDoublesLeakageLinearly) {
+  const TechnologyParams base = stt_mram_l1d_64kb();
+  const TechnologyParams big = scale_capacity(base, 128 * 1024);
+  EXPECT_EQ(big.capacity_bytes, 128u * 1024);
+  EXPECT_DOUBLE_EQ(big.leakage_mw, base.leakage_mw * 2);
+  // Latency grows with sqrt(2).
+  EXPECT_NEAR(big.read_latency_ns, base.read_latency_ns * 1.4142, 1e-3);
+  EXPECT_NO_THROW(big.validate());
+}
+
+TEST(Technology, ScaleCapacityRejectsNonPow2) {
+  EXPECT_THROW(scale_capacity(sram_l1d_64kb(), 100000), ConfigError);
+}
+
+TEST(Energy, DynamicScalesWithAccesses) {
+  const TechnologyParams p = stt_mram_l1d_64kb();
+  AccessCounts c;
+  c.reads = 1000;
+  c.writes = 500;
+  const EnergyBreakdown e = compute_energy(p, c, 0, 1.0);
+  EXPECT_DOUBLE_EQ(e.dynamic_read_nj, 1000 * p.read_energy_nj);
+  EXPECT_DOUBLE_EQ(e.dynamic_write_nj, 500 * p.write_energy_nj);
+  EXPECT_DOUBLE_EQ(e.static_nj, 0.0);
+}
+
+TEST(Energy, LeakageScalesWithTime) {
+  const TechnologyParams p = stt_mram_l1d_64kb();
+  const EnergyBreakdown e = compute_energy(p, {}, 1'000'000, 1.0);
+  // 28.35 mW for 1 ms = 28.35 uJ = 28350 nJ.
+  EXPECT_NEAR(e.static_nj, 28350.0, 1.0);
+}
+
+TEST(Energy, AveragePowerReproducesLeakageForIdleRun) {
+  const TechnologyParams p = stt_mram_l1d_64kb();
+  const EnergyBreakdown e = compute_energy(p, {}, 123456, 1.0);
+  EXPECT_NEAR(average_power_mw(e, 123456, 1.0), p.leakage_mw, 1e-6);
+}
+
+TEST(Energy, SramLeakageExceedsStt) {
+  // The qualitative claim that motivates the paper.
+  EXPECT_GT(sram_l1d_64kb().leakage_mw, stt_mram_l1d_64kb().leakage_mw * 3);
+}
+
+TEST(Area, CellAreaRatioMatchesF2) {
+  const AreaEstimate sram = compute_area(sram_l1d_64kb());
+  const AreaEstimate stt = compute_area(stt_mram_l1d_64kb());
+  EXPECT_NEAR(sram.cell_area_mm2 / stt.cell_area_mm2, 146.0 / 42.0, 1e-9);
+  EXPECT_GT(sram.total_mm2(), stt.total_mm2());
+}
+
+TEST(Area, IsoAreaCapacityIs2To3x) {
+  // Paper Section VII: "around 2-3 times for STT-MRAM".
+  const std::uint64_t cap =
+      iso_area_capacity(stt_mram_l1d_64kb(), sram_l1d_64kb());
+  EXPECT_GE(cap, 2u * 64 * 1024);
+  EXPECT_LE(cap, 3u * 64 * 1024);
+}
+
+TEST(Area, RejectsBadFeatureSize) {
+  EXPECT_THROW(compute_area(sram_l1d_64kb(), 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace sttsim::tech

@@ -1,0 +1,86 @@
+// Unit tests: binary trace serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sttsim/cpu/trace_io.hpp"
+#include "sttsim/workloads/kernels.hpp"
+
+namespace sttsim::cpu {
+namespace {
+
+Trace sample_trace() {
+  return {make_exec(7), make_load(0x1000, 8), make_store(0x2000, 32),
+          make_prefetch(0x3000), make_exec(1000000)};
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField) {
+  std::stringstream ss;
+  const Trace original = sample_trace();
+  write_trace(ss, original);
+  const Trace restored = read_trace(ss);
+  ASSERT_EQ(restored.size(), original.size());
+  EXPECT_TRUE(restored == original);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  write_trace(ss, {});
+  EXPECT_TRUE(read_trace(ss).empty());
+}
+
+TEST(TraceIo, KernelTraceRoundTrips) {
+  std::stringstream ss;
+  const Trace original =
+      workloads::gemm(8, 8, 8, workloads::CodegenOptions::all());
+  write_trace(ss, original);
+  EXPECT_TRUE(read_trace(ss) == original);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "this is not a trace file at all...";
+  EXPECT_THROW(read_trace(ss), TraceIoError);
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  std::stringstream ss;
+  write_trace(ss, sample_trace());
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() - 5));
+  EXPECT_THROW(read_trace(cut), TraceIoError);
+}
+
+TEST(TraceIo, RejectsBadOpKind) {
+  std::stringstream ss;
+  write_trace(ss, {make_exec(1)});
+  std::string bytes = ss.str();
+  bytes[8 + 4 + 8] = 42;  // corrupt the first op's kind field
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(read_trace(corrupt), TraceIoError);
+}
+
+TEST(TraceIo, RejectsZeroSizeMemoryOp) {
+  std::stringstream ss;
+  write_trace(ss, {make_load(0x100, 8)});
+  std::string bytes = ss.str();
+  bytes[8 + 4 + 8 + 1] = 0;  // zero the size field
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(read_trace(corrupt), TraceIoError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/sttsim_io_test.trc";
+  const Trace original = sample_trace();
+  write_trace_file(path, original);
+  EXPECT_TRUE(read_trace_file(path) == original);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/dir/x.trc"), TraceIoError);
+  EXPECT_THROW(write_trace_file("/nonexistent/dir/x.trc", {}), TraceIoError);
+}
+
+}  // namespace
+}  // namespace sttsim::cpu

@@ -1,0 +1,136 @@
+// Unit tests: src/util (bit helpers, RNG, text formatting).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sttsim/util/bits.hpp"
+#include "sttsim/util/rng.hpp"
+#include "sttsim/util/text.hpp"
+
+namespace sttsim {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(Bits, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(64), 6u);
+  EXPECT_EQ(log2_exact(1ULL << 40), 40u);
+}
+
+TEST(Bits, AlignDownUp) {
+  EXPECT_EQ(align_down(127, 64), 64u);
+  EXPECT_EQ(align_down(128, 64), 128u);
+  EXPECT_EQ(align_up(127, 64), 128u);
+  EXPECT_EQ(align_up(128, 64), 128u);
+  EXPECT_EQ(align_up(0, 64), 0u);
+}
+
+TEST(Bits, IsAligned) {
+  EXPECT_TRUE(is_aligned(0, 64));
+  EXPECT_TRUE(is_aligned(192, 64));
+  EXPECT_FALSE(is_aligned(100, 64));
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(Bits, BitsToBytes) {
+  EXPECT_EQ(bits_to_bytes(512), 64u);
+  EXPECT_EQ(bits_to_bytes(256), 32u);
+  EXPECT_EQ(bits_to_bytes(1024), 128u);
+  EXPECT_EQ(bits_to_bytes(9), 2u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoolExtremes) {
+  Rng r(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+  }
+}
+
+TEST(Rng, BoolRoughlyCalibrated) {
+  Rng r(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.next_bool(0.25);
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Text, Strprintf) {
+  EXPECT_EQ(strprintf("x=%d y=%s", 3, "ab"), "x=3 y=ab");
+  EXPECT_EQ(strprintf("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Text, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(64 * 1024), "64 KiB");
+  EXPECT_EQ(format_bytes(2 * 1024 * 1024), "2 MiB");
+  EXPECT_EQ(format_bytes(1536), "1536 B");  // not a whole KiB
+}
+
+TEST(Text, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Text, Pad) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+}
+
+}  // namespace
+}  // namespace sttsim

@@ -1,0 +1,297 @@
+// Unit tests: trace-level optimization passes and stride detection.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sttsim/util/check.hpp"
+#include "sttsim/xform/passes.hpp"
+#include "sttsim/xform/stride.hpp"
+
+namespace sttsim::xform {
+namespace {
+
+using cpu::make_exec;
+using cpu::make_load;
+using cpu::make_prefetch;
+using cpu::make_store;
+using cpu::OpKind;
+using cpu::Trace;
+
+TEST(StrideDetector, ConfirmsUnitStrideAfterThreshold) {
+  StrideDetector d(8, 3);
+  EXPECT_FALSE(d.observe(0).has_value());    // new candidate
+  EXPECT_FALSE(d.observe(8).has_value());    // run = 1
+  EXPECT_FALSE(d.observe(16).has_value());   // run = 2
+  ASSERT_TRUE(d.observe(24).has_value());    // run = 3: confirmed
+  EXPECT_EQ(*d.observe(32), 8);
+}
+
+TEST(StrideDetector, DetectsNegativeStride) {
+  StrideDetector d(8, 2);
+  d.observe(1000);
+  d.observe(992);
+  ASSERT_TRUE(d.observe(984).has_value());
+  EXPECT_EQ(*d.observe(976), -8);
+}
+
+TEST(StrideDetector, LargeStrideBeyondWindowIsSeparateStream) {
+  StrideDetector d(8, 2);
+  d.observe(0);
+  // 64 KiB away: not "near" any candidate -> new stream, never confirmed by
+  // alternating accesses.
+  EXPECT_FALSE(d.observe(65536).has_value());
+  EXPECT_FALSE(d.observe(8).has_value());
+  EXPECT_FALSE(d.observe(65544).has_value());
+}
+
+TEST(StrideDetector, InterleavedStreamsBothConfirm) {
+  StrideDetector d(8, 2);
+  bool a_confirmed = false;
+  bool b_confirmed = false;
+  for (int i = 0; i < 8; ++i) {
+    a_confirmed |= d.observe(static_cast<Addr>(i) * 8).has_value();
+    b_confirmed |= d.observe(0x100000 + static_cast<Addr>(i) * 64).has_value();
+  }
+  EXPECT_TRUE(a_confirmed);
+  EXPECT_TRUE(b_confirmed);
+  EXPECT_GE(d.confirmed().size(), 2u);
+}
+
+TEST(StrideDetector, RejectsBadConfig) {
+  EXPECT_THROW(StrideDetector(0, 3), ConfigError);
+  EXPECT_THROW(StrideDetector(8, 0), ConfigError);
+}
+
+TEST(StrideDetector, ResetForgets) {
+  StrideDetector d(8, 2);
+  for (int i = 0; i < 5; ++i) d.observe(static_cast<Addr>(i) * 8);
+  d.reset();
+  EXPECT_TRUE(d.confirmed().empty());
+  EXPECT_FALSE(d.observe(100).has_value());
+}
+
+Trace unit_stride_loads(unsigned n, Addr base = 0) {
+  Trace t;
+  for (unsigned i = 0; i < n; ++i) {
+    t.push_back(make_load(base + i * 8, 8));
+    t.push_back(make_exec(2));
+  }
+  return t;
+}
+
+TEST(PrefetchInsertion, InsertsAlongConfirmedStream) {
+  PrefetchInsertionPass pass(192, 64, 3);
+  PassStats stats;
+  const Trace out = pass.run(unit_stride_loads(64), stats);
+  EXPECT_GT(stats.ops_inserted, 0u);
+  // One hint per 64 B line: 64 loads cover 8 lines; minus warm-up.
+  EXPECT_LE(stats.ops_inserted, 9u);
+  EXPECT_GE(stats.ops_inserted, 5u);
+  // All original ops preserved, in order.
+  unsigned loads = 0;
+  for (const auto& op : out) loads += op.kind == OpKind::kLoad;
+  EXPECT_EQ(loads, 64u);
+}
+
+TEST(PrefetchInsertion, LeavesRandomAccessAlone) {
+  Trace t;
+  // Pseudo-random addresses far apart.
+  Addr a = 0;
+  for (int i = 0; i < 64; ++i) {
+    a = (a * 2654435761u + 12345) % (1 << 30);
+    t.push_back(make_load(align_down(a, 8), 8));
+  }
+  PrefetchInsertionPass pass;
+  PassStats stats;
+  pass.run(t, stats);
+  EXPECT_LE(stats.ops_inserted, 2u);
+}
+
+TEST(PrefetchInsertion, PrefetchTargetsAreLineAlignedAndAhead) {
+  PrefetchInsertionPass pass(192, 64, 3);
+  PassStats stats;
+  const Trace out = pass.run(unit_stride_loads(64, 0x1000), stats);
+  Addr last_load = 0;
+  for (const auto& op : out) {
+    if (op.kind == OpKind::kLoad) last_load = op.addr;
+    if (op.kind == OpKind::kPrefetch) {
+      EXPECT_TRUE(is_aligned(op.addr, 64));
+      EXPECT_GT(op.addr, last_load);
+    }
+  }
+}
+
+TEST(PrefetchInsertion, StatsAccountInsertedOps) {
+  PrefetchInsertionPass pass;
+  PassStats stats;
+  const Trace out = pass.run(unit_stride_loads(64), stats);
+  EXPECT_EQ(stats.ops_after, stats.ops_before + stats.ops_inserted);
+  EXPECT_EQ(stats.pass, "prefetch-insertion");
+  (void)out;
+}
+
+TEST(VectorPacking, PacksAdjacentLoads) {
+  Trace t;
+  for (unsigned i = 0; i < 4; ++i) {
+    t.push_back(make_load(i * 8, 8));
+    t.push_back(make_exec(1));  // per-lane arithmetic
+  }
+  VectorPackingPass pass(4, 8);
+  PassStats stats;
+  const Trace out = pass.run(t, stats);
+  ASSERT_GE(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, OpKind::kLoad);
+  EXPECT_EQ(out[0].size, 32u);
+  EXPECT_EQ(stats.ops_merged, 3u);
+  EXPECT_GT(stats.ops_reduced, 0u);
+}
+
+TEST(VectorPacking, DoesNotPackNonConsecutive) {
+  Trace t{make_load(0, 8), make_load(64, 8), make_load(128, 8)};
+  VectorPackingPass pass;
+  PassStats stats;
+  const Trace out = pass.run(t, stats);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(stats.ops_merged, 0u);
+}
+
+TEST(VectorPacking, DoesNotMixLoadsAndStores) {
+  Trace t{make_load(0, 8), make_store(8, 8), make_load(16, 8)};
+  VectorPackingPass pass;
+  PassStats stats;
+  const Trace out = pass.run(t, stats);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(VectorPacking, PacksStoresToo) {
+  Trace t{make_store(0, 8), make_store(8, 8)};
+  VectorPackingPass pass;
+  PassStats stats;
+  const Trace out = pass.run(t, stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, OpKind::kStore);
+  EXPECT_EQ(out[0].size, 16u);
+}
+
+TEST(VectorPacking, RespectsMaxWidth) {
+  Trace t;
+  for (unsigned i = 0; i < 8; ++i) t.push_back(make_load(i * 8, 8));
+  VectorPackingPass pass(4, 8);
+  PassStats stats;
+  const Trace out = pass.run(t, stats);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].size, 32u);
+  EXPECT_EQ(out[1].size, 32u);
+}
+
+TEST(VectorPacking, RejectsBadConfig) {
+  EXPECT_THROW(VectorPackingPass(1, 8), ConfigError);
+  EXPECT_THROW(VectorPackingPass(64, 8), ConfigError);  // > 255 bytes
+}
+
+TEST(BranchOverhead, ShavesSmallExecBundles) {
+  Trace t{make_exec(2), make_load(0, 8), make_exec(5), make_exec(1)};
+  BranchOverheadPass pass(2);
+  PassStats stats;
+  const Trace out = pass.run(t, stats);
+  EXPECT_EQ(out[0].count, 1u);  // 2 -> 1
+  EXPECT_EQ(out[2].count, 5u);  // untouched (above threshold)
+  EXPECT_EQ(out[3].count, 1u);  // already minimal
+  EXPECT_EQ(stats.ops_reduced, 1u);
+}
+
+TEST(BranchOverhead, InstructionCountDrops) {
+  Trace t;
+  for (int i = 0; i < 10; ++i) {
+    t.push_back(make_exec(2));
+    t.push_back(make_load(static_cast<Addr>(i) * 8, 8));
+  }
+  BranchOverheadPass pass;
+  PassStats stats;
+  pass.run(t, stats);
+  EXPECT_EQ(stats.ops_before - stats.ops_after, 10u);
+}
+
+TEST(RedundantLoad, RemovesReloadOfLiveValue) {
+  Trace t{make_load(0x100, 8), make_exec(2), make_load(0x100, 8)};
+  RedundantLoadPass pass;
+  PassStats stats;
+  const Trace out = pass.run(t, stats);
+  unsigned loads = 0;
+  for (const auto& op : out) loads += op.kind == OpKind::kLoad;
+  EXPECT_EQ(loads, 1u);
+  EXPECT_EQ(stats.ops_merged, 1u);
+}
+
+TEST(RedundantLoad, StoreClobberForcesReload) {
+  Trace t{make_load(0x100, 8), make_store(0x100, 8), make_load(0x100, 8)};
+  RedundantLoadPass pass;
+  PassStats stats;
+  const Trace out = pass.run(t, stats);
+  // The store leaves its own value live (store-to-load forwarding), so the
+  // reload is STILL redundant...
+  unsigned loads = 0;
+  for (const auto& op : out) loads += op.kind == OpKind::kLoad;
+  EXPECT_EQ(loads, 1u);
+}
+
+TEST(RedundantLoad, PartialOverlapIsNotForwarded) {
+  // A 32 B store covering the 8 B load's range forwards; an 8 B store only
+  // partially covering a 32 B load does not.
+  Trace t{make_store(0x100, 8), make_load(0x100, 32)};
+  RedundantLoadPass pass;
+  PassStats stats;
+  const Trace out = pass.run(t, stats);
+  unsigned loads = 0;
+  for (const auto& op : out) loads += op.kind == OpKind::kLoad;
+  EXPECT_EQ(loads, 1u);  // kept: the register holds only 8 of the 32 bytes
+}
+
+TEST(RedundantLoad, WindowBoundsLiveness) {
+  RedundantLoadPass pass(2);  // only two live registers
+  Trace t{make_load(0x100, 8), make_load(0x200, 8), make_load(0x300, 8),
+          make_load(0x100, 8)};  // 0x100 displaced by the time it reloads
+  PassStats stats;
+  const Trace out = pass.run(t, stats);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(stats.ops_merged, 0u);
+}
+
+TEST(RedundantLoad, CutsSecondPassOfAtaxStyleReuse) {
+  // Immediate re-read of the same address stream (register-blocked code).
+  Trace t;
+  for (unsigned i = 0; i < 8; ++i) {
+    t.push_back(make_load(i * 8, 8));
+    t.push_back(make_load(i * 8, 8));  // textbook recomputation
+    t.push_back(make_exec(2));
+  }
+  RedundantLoadPass pass;
+  PassStats stats;
+  pass.run(t, stats);
+  EXPECT_EQ(stats.ops_merged, 8u);
+}
+
+TEST(RedundantLoad, RejectsZeroWindow) {
+  EXPECT_THROW(RedundantLoadPass(0), ConfigError);
+}
+
+TEST(PassManager, RunsPipelineInOrderAndCollectsStats) {
+  Trace t;
+  for (unsigned i = 0; i < 32; ++i) {
+    t.push_back(make_exec(2));
+    t.push_back(make_load(i * 8, 8));
+  }
+  PassManager pm;
+  pm.add(std::make_unique<BranchOverheadPass>())
+      .add(std::make_unique<PrefetchInsertionPass>());
+  const Trace out = pm.run(t);
+  ASSERT_EQ(pm.stats().size(), 2u);
+  EXPECT_EQ(pm.stats()[0].pass, "branch-overhead");
+  EXPECT_EQ(pm.stats()[1].pass, "prefetch-insertion");
+  // The second pass sees the first pass's output.
+  EXPECT_EQ(pm.stats()[1].ops_before, pm.stats()[0].ops_after);
+  EXPECT_GT(out.size(), t.size());  // prefetches appended
+}
+
+}  // namespace
+}  // namespace sttsim::xform

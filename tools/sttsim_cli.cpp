@@ -1,0 +1,218 @@
+// sttsim — command-line driver for the simulator.
+//
+// Run any suite kernel (or an external binary trace) on any DL1
+// organization with any codegen options, and print the run statistics:
+//
+//   sttsim --kernel=gemm --org=nvm-vwb --opts=vec,pf,br
+//   sttsim --kernel=atax --org=sram-baseline --baseline-penalty
+//   sttsim --trace-in=foo.trc --org=nvm-drop-in
+//   sttsim --kernel=mvt --trace-out=mvt.trc      (capture, no simulation)
+//   sttsim --list
+//
+// Options: --vwb-kbit=N --vwb-lines=N --banks=N --clock-ghz=F --csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "sttsim/cpu/system.hpp"
+#include "sttsim/cpu/trace_io.hpp"
+#include "sttsim/experiments/harness.hpp"
+#include "sttsim/util/check.hpp"
+#include "sttsim/util/text.hpp"
+#include "sttsim/workloads/suite.hpp"
+
+namespace {
+
+using namespace sttsim;
+
+struct CliOptions {
+  std::string kernel;
+  std::string trace_in;
+  std::string trace_out;
+  cpu::Dl1Organization org = cpu::Dl1Organization::kSramBaseline;
+  workloads::CodegenOptions codegen;
+  cpu::SystemConfig system;
+  bool list = false;
+  bool csv = false;
+  bool json = false;
+  bool baseline_penalty = false;  ///< also run the SRAM baseline and report %
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--list] [--kernel=NAME | --trace-in=FILE]\n"
+      "          [--org=sram-baseline|nvm-drop-in|nvm-vwb|nvm-l0|nvm-emshr|"
+      "nvm-writebuf]\n"
+      "          [--opts=vec,pf,br] [--vwb-kbit=N] [--vwb-lines=N]\n"
+      "          [--banks=N] [--clock-ghz=F] [--trace-out=FILE]\n"
+      "          [--baseline-penalty] [--csv|--json]\n",
+      argv0);
+  std::exit(2);
+}
+
+std::optional<cpu::Dl1Organization> parse_org(const std::string& name) {
+  for (const auto org :
+       {cpu::Dl1Organization::kSramBaseline, cpu::Dl1Organization::kNvmDropIn,
+        cpu::Dl1Organization::kNvmVwb, cpu::Dl1Organization::kNvmL0,
+        cpu::Dl1Organization::kNvmEmshr,
+        cpu::Dl1Organization::kNvmWriteBuf}) {
+    if (name == cpu::to_string(org)) return org;
+  }
+  return std::nullopt;
+}
+
+workloads::CodegenOptions parse_codegen(const std::string& list) {
+  workloads::CodegenOptions o;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string item = list.substr(
+        pos, comma == std::string::npos ? comma : comma - pos);
+    if (item == "vec") {
+      o.vectorize = true;
+    } else if (item == "pf") {
+      o.prefetch = true;
+    } else if (item == "br") {
+      o.branch_opts = true;
+    } else if (item == "all") {
+      o = workloads::CodegenOptions::all();
+    } else if (!item.empty()) {
+      throw ConfigError("unknown codegen option '" + item + "'");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return o;
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string val;
+    const auto take = [&](const char* prefix) {
+      const std::size_t n = std::strlen(prefix);
+      if (arg.rfind(prefix, 0) == 0) {
+        val = arg.substr(n);
+        return true;
+      }
+      return false;
+    };
+    if (arg == "--list") {
+      o.list = true;
+    } else if (arg == "--csv") {
+      o.csv = true;
+    } else if (arg == "--json") {
+      o.json = true;
+    } else if (arg == "--baseline-penalty") {
+      o.baseline_penalty = true;
+    } else if (take("--kernel=")) {
+      o.kernel = val;
+    } else if (take("--trace-in=")) {
+      o.trace_in = val;
+    } else if (take("--trace-out=")) {
+      o.trace_out = val;
+    } else if (take("--org=")) {
+      const auto org = parse_org(val);
+      if (!org) usage(argv[0]);
+      o.org = *org;
+    } else if (take("--opts=")) {
+      o.codegen = parse_codegen(val);
+    } else if (take("--vwb-kbit=")) {
+      o.system.vwb_total_kbit = static_cast<unsigned>(std::stoul(val));
+    } else if (take("--vwb-lines=")) {
+      o.system.vwb_lines = static_cast<unsigned>(std::stoul(val));
+    } else if (take("--banks=")) {
+      o.system.nvm_banks = static_cast<unsigned>(std::stoul(val));
+    } else if (take("--clock-ghz=")) {
+      o.system.clock_ghz = std::stod(val);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+void print_stats(const sim::RunStats& s, bool csv) {
+  if (!csv) {
+    std::fputs(sim::to_string(s).c_str(), stdout);
+    return;
+  }
+  std::printf("cycles,instructions,cpi,read_stalls,write_stalls,loads,stores,"
+              "front_hit_rate,l1_miss_rate,l2_misses\n");
+  std::printf("%llu,%llu,%.4f,%llu,%llu,%llu,%llu,%.4f,%.4f,%llu\n",
+              static_cast<unsigned long long>(s.core.total_cycles),
+              static_cast<unsigned long long>(s.core.instructions),
+              s.core.cpi(),
+              static_cast<unsigned long long>(s.core.read_stall_cycles),
+              static_cast<unsigned long long>(s.core.write_stall_cycles),
+              static_cast<unsigned long long>(s.mem.loads),
+              static_cast<unsigned long long>(s.mem.stores),
+              s.mem.front_hit_rate(), s.mem.l1_miss_rate(),
+              static_cast<unsigned long long>(s.mem.l2_misses));
+}
+
+int run(const CliOptions& o) {
+  if (o.list) {
+    for (const auto& k : workloads::polybench_suite()) {
+      std::printf("%-16s %s\n", k.name.c_str(), k.description.c_str());
+    }
+    return 0;
+  }
+  if (o.kernel.empty() == o.trace_in.empty()) {
+    std::fprintf(stderr, "exactly one of --kernel / --trace-in required\n");
+    return 2;
+  }
+
+  cpu::Trace trace;
+  if (!o.kernel.empty()) {
+    trace = workloads::find_kernel(o.kernel).generate(o.codegen);
+  } else {
+    trace = cpu::read_trace_file(o.trace_in);
+  }
+  if (!o.trace_out.empty()) {
+    cpu::write_trace_file(o.trace_out, trace);
+    std::printf("wrote %zu ops to %s\n", trace.size(), o.trace_out.c_str());
+    return 0;
+  }
+
+  cpu::SystemConfig cfg = o.system;
+  cfg.organization = o.org;
+  cpu::System system(cfg);
+  const sim::RunStats stats = system.run(trace);
+  if (o.json) {
+    std::printf("%s\n", sim::to_json(stats).c_str());
+    return 0;
+  }
+  if (!o.csv) {
+    std::printf("organization : %s\n", cpu::to_string(o.org));
+    std::printf("workload     : %s (%s)\n",
+                o.kernel.empty() ? o.trace_in.c_str() : o.kernel.c_str(),
+                o.codegen.label().c_str());
+  }
+  print_stats(stats, o.csv);
+
+  if (o.baseline_penalty && o.org != cpu::Dl1Organization::kSramBaseline) {
+    cpu::SystemConfig base_cfg = o.system;
+    base_cfg.organization = cpu::Dl1Organization::kSramBaseline;
+    cpu::System baseline(base_cfg);
+    const sim::RunStats base = baseline.run(trace);
+    std::printf("penalty vs same-code SRAM baseline: %+.2f%%\n",
+                experiments::penalty_pct(stats, base));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sttsim: %s\n", e.what());
+    return 1;
+  }
+}
