@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_banking.cpp" "bench/CMakeFiles/ablation_banking.dir/ablation_banking.cpp.o" "gcc" "bench/CMakeFiles/ablation_banking.dir/ablation_banking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/sttsim_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sttsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/sttsim_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/sttsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/alt/CMakeFiles/sttsim_alt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sttsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sttsim_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/sttsim_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sttsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sttsim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sttsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_banking.dir/ablation_banking.cpp.o"
+  "CMakeFiles/ablation_banking.dir/ablation_banking.cpp.o.d"
+  "ablation_banking"
+  "ablation_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

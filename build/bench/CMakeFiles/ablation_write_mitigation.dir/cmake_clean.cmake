@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_write_mitigation.dir/ablation_write_mitigation.cpp.o"
+  "CMakeFiles/ablation_write_mitigation.dir/ablation_write_mitigation.cpp.o.d"
+  "ablation_write_mitigation"
+  "ablation_write_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_write_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_area_report.dir/energy_area_report.cpp.o"
+  "CMakeFiles/energy_area_report.dir/energy_area_report.cpp.o.d"
+  "energy_area_report"
+  "energy_area_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_area_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

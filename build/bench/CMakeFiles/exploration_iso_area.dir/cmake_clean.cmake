@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploration_iso_area.dir/exploration_iso_area.cpp.o"
+  "CMakeFiles/exploration_iso_area.dir/exploration_iso_area.cpp.o.d"
+  "exploration_iso_area"
+  "exploration_iso_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploration_iso_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

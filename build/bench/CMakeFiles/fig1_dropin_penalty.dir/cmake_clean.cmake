@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dropin_penalty.dir/fig1_dropin_penalty.cpp.o"
+  "CMakeFiles/fig1_dropin_penalty.dir/fig1_dropin_penalty.cpp.o.d"
+  "fig1_dropin_penalty"
+  "fig1_dropin_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dropin_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

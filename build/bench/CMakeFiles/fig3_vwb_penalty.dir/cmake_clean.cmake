@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vwb_penalty.dir/fig3_vwb_penalty.cpp.o"
+  "CMakeFiles/fig3_vwb_penalty.dir/fig3_vwb_penalty.cpp.o.d"
+  "fig3_vwb_penalty"
+  "fig3_vwb_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vwb_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rw_breakdown.dir/fig4_rw_breakdown.cpp.o"
+  "CMakeFiles/fig4_rw_breakdown.dir/fig4_rw_breakdown.cpp.o.d"
+  "fig4_rw_breakdown"
+  "fig4_rw_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rw_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_transformations.dir/fig5_transformations.cpp.o"
+  "CMakeFiles/fig5_transformations.dir/fig5_transformations.cpp.o.d"
+  "fig5_transformations"
+  "fig5_transformations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_transformations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_contributions.dir/fig6_contributions.cpp.o"
+  "CMakeFiles/fig6_contributions.dir/fig6_contributions.cpp.o.d"
+  "fig6_contributions"
+  "fig6_contributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_contributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

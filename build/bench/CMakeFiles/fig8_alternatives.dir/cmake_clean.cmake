@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_alternatives.dir/fig8_alternatives.cpp.o"
+  "CMakeFiles/fig8_alternatives.dir/fig8_alternatives.cpp.o.d"
+  "fig8_alternatives"
+  "fig8_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

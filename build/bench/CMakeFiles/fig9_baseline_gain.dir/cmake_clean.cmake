@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_baseline_gain.dir/fig9_baseline_gain.cpp.o"
+  "CMakeFiles/fig9_baseline_gain.dir/fig9_baseline_gain.cpp.o.d"
+  "fig9_baseline_gain"
+  "fig9_baseline_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_baseline_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_report.dir/lifetime_report.cpp.o"
+  "CMakeFiles/lifetime_report.dir/lifetime_report.cpp.o.d"
+  "lifetime_report"
+  "lifetime_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

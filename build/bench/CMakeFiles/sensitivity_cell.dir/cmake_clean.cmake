@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_cell.dir/sensitivity_cell.cpp.o"
+  "CMakeFiles/sensitivity_cell.dir/sensitivity_cell.cpp.o.d"
+  "sensitivity_cell"
+  "sensitivity_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

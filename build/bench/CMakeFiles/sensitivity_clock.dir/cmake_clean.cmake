@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_clock.dir/sensitivity_clock.cpp.o"
+  "CMakeFiles/sensitivity_clock.dir/sensitivity_clock.cpp.o.d"
+  "sensitivity_clock"
+  "sensitivity_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

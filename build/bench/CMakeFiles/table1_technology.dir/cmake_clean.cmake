@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_technology.dir/table1_technology.cpp.o"
+  "CMakeFiles/table1_technology.dir/table1_technology.cpp.o.d"
+  "table1_technology"
+  "table1_technology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_area.dir/energy_area.cpp.o"
+  "CMakeFiles/energy_area.dir/energy_area.cpp.o.d"
+  "energy_area"
+  "energy_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

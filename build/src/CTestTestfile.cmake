@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tech")
+subdirs("sim")
+subdirs("mem")
+subdirs("reliability")
+subdirs("core")
+subdirs("alt")
+subdirs("cpu")
+subdirs("workloads")
+subdirs("xform")
+subdirs("report")
+subdirs("experiments")

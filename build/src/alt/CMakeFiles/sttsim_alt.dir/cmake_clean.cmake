@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_alt.dir/narrow_front_dl1.cpp.o"
+  "CMakeFiles/sttsim_alt.dir/narrow_front_dl1.cpp.o.d"
+  "libsttsim_alt.a"
+  "libsttsim_alt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_alt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dl1_system.cpp" "src/core/CMakeFiles/sttsim_core.dir/dl1_system.cpp.o" "gcc" "src/core/CMakeFiles/sttsim_core.dir/dl1_system.cpp.o.d"
+  "/root/repo/src/core/plain_dl1.cpp" "src/core/CMakeFiles/sttsim_core.dir/plain_dl1.cpp.o" "gcc" "src/core/CMakeFiles/sttsim_core.dir/plain_dl1.cpp.o.d"
+  "/root/repo/src/core/vwb.cpp" "src/core/CMakeFiles/sttsim_core.dir/vwb.cpp.o" "gcc" "src/core/CMakeFiles/sttsim_core.dir/vwb.cpp.o.d"
+  "/root/repo/src/core/vwb_dl1.cpp" "src/core/CMakeFiles/sttsim_core.dir/vwb_dl1.cpp.o" "gcc" "src/core/CMakeFiles/sttsim_core.dir/vwb_dl1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sttsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sttsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sttsim_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_core.dir/dl1_system.cpp.o"
+  "CMakeFiles/sttsim_core.dir/dl1_system.cpp.o.d"
+  "CMakeFiles/sttsim_core.dir/plain_dl1.cpp.o"
+  "CMakeFiles/sttsim_core.dir/plain_dl1.cpp.o.d"
+  "CMakeFiles/sttsim_core.dir/vwb.cpp.o"
+  "CMakeFiles/sttsim_core.dir/vwb.cpp.o.d"
+  "CMakeFiles/sttsim_core.dir/vwb_dl1.cpp.o"
+  "CMakeFiles/sttsim_core.dir/vwb_dl1.cpp.o.d"
+  "libsttsim_core.a"
+  "libsttsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/in_order_core.cpp" "src/cpu/CMakeFiles/sttsim_cpu.dir/in_order_core.cpp.o" "gcc" "src/cpu/CMakeFiles/sttsim_cpu.dir/in_order_core.cpp.o.d"
+  "/root/repo/src/cpu/system.cpp" "src/cpu/CMakeFiles/sttsim_cpu.dir/system.cpp.o" "gcc" "src/cpu/CMakeFiles/sttsim_cpu.dir/system.cpp.o.d"
+  "/root/repo/src/cpu/trace.cpp" "src/cpu/CMakeFiles/sttsim_cpu.dir/trace.cpp.o" "gcc" "src/cpu/CMakeFiles/sttsim_cpu.dir/trace.cpp.o.d"
+  "/root/repo/src/cpu/trace_io.cpp" "src/cpu/CMakeFiles/sttsim_cpu.dir/trace_io.cpp.o" "gcc" "src/cpu/CMakeFiles/sttsim_cpu.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sttsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alt/CMakeFiles/sttsim_alt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sttsim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sttsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sttsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

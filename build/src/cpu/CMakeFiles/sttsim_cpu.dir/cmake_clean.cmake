@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_cpu.dir/in_order_core.cpp.o"
+  "CMakeFiles/sttsim_cpu.dir/in_order_core.cpp.o.d"
+  "CMakeFiles/sttsim_cpu.dir/system.cpp.o"
+  "CMakeFiles/sttsim_cpu.dir/system.cpp.o.d"
+  "CMakeFiles/sttsim_cpu.dir/trace.cpp.o"
+  "CMakeFiles/sttsim_cpu.dir/trace.cpp.o.d"
+  "CMakeFiles/sttsim_cpu.dir/trace_io.cpp.o"
+  "CMakeFiles/sttsim_cpu.dir/trace_io.cpp.o.d"
+  "libsttsim_cpu.a"
+  "libsttsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

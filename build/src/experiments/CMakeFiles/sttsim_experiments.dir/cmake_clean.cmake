@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_experiments.dir/figures.cpp.o"
+  "CMakeFiles/sttsim_experiments.dir/figures.cpp.o.d"
+  "CMakeFiles/sttsim_experiments.dir/harness.cpp.o"
+  "CMakeFiles/sttsim_experiments.dir/harness.cpp.o.d"
+  "libsttsim_experiments.a"
+  "libsttsim_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

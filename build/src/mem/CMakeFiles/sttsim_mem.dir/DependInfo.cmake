@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/fill_buffer.cpp" "src/mem/CMakeFiles/sttsim_mem.dir/fill_buffer.cpp.o" "gcc" "src/mem/CMakeFiles/sttsim_mem.dir/fill_buffer.cpp.o.d"
+  "/root/repo/src/mem/l2_system.cpp" "src/mem/CMakeFiles/sttsim_mem.dir/l2_system.cpp.o" "gcc" "src/mem/CMakeFiles/sttsim_mem.dir/l2_system.cpp.o.d"
+  "/root/repo/src/mem/mshr.cpp" "src/mem/CMakeFiles/sttsim_mem.dir/mshr.cpp.o" "gcc" "src/mem/CMakeFiles/sttsim_mem.dir/mshr.cpp.o.d"
+  "/root/repo/src/mem/set_assoc_cache.cpp" "src/mem/CMakeFiles/sttsim_mem.dir/set_assoc_cache.cpp.o" "gcc" "src/mem/CMakeFiles/sttsim_mem.dir/set_assoc_cache.cpp.o.d"
+  "/root/repo/src/mem/write_buffer.cpp" "src/mem/CMakeFiles/sttsim_mem.dir/write_buffer.cpp.o" "gcc" "src/mem/CMakeFiles/sttsim_mem.dir/write_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sttsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sttsim_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

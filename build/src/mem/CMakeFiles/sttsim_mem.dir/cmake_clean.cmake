@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_mem.dir/fill_buffer.cpp.o"
+  "CMakeFiles/sttsim_mem.dir/fill_buffer.cpp.o.d"
+  "CMakeFiles/sttsim_mem.dir/l2_system.cpp.o"
+  "CMakeFiles/sttsim_mem.dir/l2_system.cpp.o.d"
+  "CMakeFiles/sttsim_mem.dir/mshr.cpp.o"
+  "CMakeFiles/sttsim_mem.dir/mshr.cpp.o.d"
+  "CMakeFiles/sttsim_mem.dir/set_assoc_cache.cpp.o"
+  "CMakeFiles/sttsim_mem.dir/set_assoc_cache.cpp.o.d"
+  "CMakeFiles/sttsim_mem.dir/write_buffer.cpp.o"
+  "CMakeFiles/sttsim_mem.dir/write_buffer.cpp.o.d"
+  "libsttsim_mem.a"
+  "libsttsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/endurance.cpp" "src/reliability/CMakeFiles/sttsim_reliability.dir/endurance.cpp.o" "gcc" "src/reliability/CMakeFiles/sttsim_reliability.dir/endurance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/sttsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sttsim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sttsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

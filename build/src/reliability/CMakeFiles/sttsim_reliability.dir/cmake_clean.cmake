@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_reliability.dir/endurance.cpp.o"
+  "CMakeFiles/sttsim_reliability.dir/endurance.cpp.o.d"
+  "libsttsim_reliability.a"
+  "libsttsim_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_report.dir/figure.cpp.o"
+  "CMakeFiles/sttsim_report.dir/figure.cpp.o.d"
+  "CMakeFiles/sttsim_report.dir/table.cpp.o"
+  "CMakeFiles/sttsim_report.dir/table.cpp.o.d"
+  "libsttsim_report.a"
+  "libsttsim_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

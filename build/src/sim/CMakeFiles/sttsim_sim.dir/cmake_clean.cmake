@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_sim.dir/resource.cpp.o"
+  "CMakeFiles/sttsim_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/sttsim_sim.dir/stats.cpp.o"
+  "CMakeFiles/sttsim_sim.dir/stats.cpp.o.d"
+  "libsttsim_sim.a"
+  "libsttsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

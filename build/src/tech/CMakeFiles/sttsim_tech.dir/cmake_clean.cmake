@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_tech.dir/area.cpp.o"
+  "CMakeFiles/sttsim_tech.dir/area.cpp.o.d"
+  "CMakeFiles/sttsim_tech.dir/energy.cpp.o"
+  "CMakeFiles/sttsim_tech.dir/energy.cpp.o.d"
+  "CMakeFiles/sttsim_tech.dir/technology.cpp.o"
+  "CMakeFiles/sttsim_tech.dir/technology.cpp.o.d"
+  "libsttsim_tech.a"
+  "libsttsim_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

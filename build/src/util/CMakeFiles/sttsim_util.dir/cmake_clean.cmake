@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_util.dir/bits.cpp.o"
+  "CMakeFiles/sttsim_util.dir/bits.cpp.o.d"
+  "CMakeFiles/sttsim_util.dir/rng.cpp.o"
+  "CMakeFiles/sttsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sttsim_util.dir/text.cpp.o"
+  "CMakeFiles/sttsim_util.dir/text.cpp.o.d"
+  "libsttsim_util.a"
+  "libsttsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

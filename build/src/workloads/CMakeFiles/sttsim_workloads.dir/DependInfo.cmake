@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/codegen.cpp" "src/workloads/CMakeFiles/sttsim_workloads.dir/codegen.cpp.o" "gcc" "src/workloads/CMakeFiles/sttsim_workloads.dir/codegen.cpp.o.d"
+  "/root/repo/src/workloads/data_layout.cpp" "src/workloads/CMakeFiles/sttsim_workloads.dir/data_layout.cpp.o" "gcc" "src/workloads/CMakeFiles/sttsim_workloads.dir/data_layout.cpp.o.d"
+  "/root/repo/src/workloads/emitter.cpp" "src/workloads/CMakeFiles/sttsim_workloads.dir/emitter.cpp.o" "gcc" "src/workloads/CMakeFiles/sttsim_workloads.dir/emitter.cpp.o.d"
+  "/root/repo/src/workloads/kernels_blas3.cpp" "src/workloads/CMakeFiles/sttsim_workloads.dir/kernels_blas3.cpp.o" "gcc" "src/workloads/CMakeFiles/sttsim_workloads.dir/kernels_blas3.cpp.o.d"
+  "/root/repo/src/workloads/kernels_extra.cpp" "src/workloads/CMakeFiles/sttsim_workloads.dir/kernels_extra.cpp.o" "gcc" "src/workloads/CMakeFiles/sttsim_workloads.dir/kernels_extra.cpp.o.d"
+  "/root/repo/src/workloads/kernels_extra2.cpp" "src/workloads/CMakeFiles/sttsim_workloads.dir/kernels_extra2.cpp.o" "gcc" "src/workloads/CMakeFiles/sttsim_workloads.dir/kernels_extra2.cpp.o.d"
+  "/root/repo/src/workloads/kernels_linalg.cpp" "src/workloads/CMakeFiles/sttsim_workloads.dir/kernels_linalg.cpp.o" "gcc" "src/workloads/CMakeFiles/sttsim_workloads.dir/kernels_linalg.cpp.o.d"
+  "/root/repo/src/workloads/kernels_stencil.cpp" "src/workloads/CMakeFiles/sttsim_workloads.dir/kernels_stencil.cpp.o" "gcc" "src/workloads/CMakeFiles/sttsim_workloads.dir/kernels_stencil.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/sttsim_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/sttsim_workloads.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/sttsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/alt/CMakeFiles/sttsim_alt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sttsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sttsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sttsim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sttsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

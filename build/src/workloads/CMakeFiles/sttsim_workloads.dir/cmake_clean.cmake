@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_workloads.dir/codegen.cpp.o"
+  "CMakeFiles/sttsim_workloads.dir/codegen.cpp.o.d"
+  "CMakeFiles/sttsim_workloads.dir/data_layout.cpp.o"
+  "CMakeFiles/sttsim_workloads.dir/data_layout.cpp.o.d"
+  "CMakeFiles/sttsim_workloads.dir/emitter.cpp.o"
+  "CMakeFiles/sttsim_workloads.dir/emitter.cpp.o.d"
+  "CMakeFiles/sttsim_workloads.dir/kernels_blas3.cpp.o"
+  "CMakeFiles/sttsim_workloads.dir/kernels_blas3.cpp.o.d"
+  "CMakeFiles/sttsim_workloads.dir/kernels_extra.cpp.o"
+  "CMakeFiles/sttsim_workloads.dir/kernels_extra.cpp.o.d"
+  "CMakeFiles/sttsim_workloads.dir/kernels_extra2.cpp.o"
+  "CMakeFiles/sttsim_workloads.dir/kernels_extra2.cpp.o.d"
+  "CMakeFiles/sttsim_workloads.dir/kernels_linalg.cpp.o"
+  "CMakeFiles/sttsim_workloads.dir/kernels_linalg.cpp.o.d"
+  "CMakeFiles/sttsim_workloads.dir/kernels_stencil.cpp.o"
+  "CMakeFiles/sttsim_workloads.dir/kernels_stencil.cpp.o.d"
+  "CMakeFiles/sttsim_workloads.dir/suite.cpp.o"
+  "CMakeFiles/sttsim_workloads.dir/suite.cpp.o.d"
+  "libsttsim_workloads.a"
+  "libsttsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

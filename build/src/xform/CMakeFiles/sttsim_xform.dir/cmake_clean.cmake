@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_xform.dir/passes.cpp.o"
+  "CMakeFiles/sttsim_xform.dir/passes.cpp.o.d"
+  "CMakeFiles/sttsim_xform.dir/stride.cpp.o"
+  "CMakeFiles/sttsim_xform.dir/stride.cpp.o.d"
+  "libsttsim_xform.a"
+  "libsttsim_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

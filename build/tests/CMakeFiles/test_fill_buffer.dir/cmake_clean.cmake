@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fill_buffer.dir/test_fill_buffer.cpp.o"
+  "CMakeFiles/test_fill_buffer.dir/test_fill_buffer.cpp.o.d"
+  "test_fill_buffer"
+  "test_fill_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fill_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_narrow_front.dir/test_narrow_front.cpp.o"
+  "CMakeFiles/test_narrow_front.dir/test_narrow_front.cpp.o.d"
+  "test_narrow_front"
+  "test_narrow_front.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_narrow_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

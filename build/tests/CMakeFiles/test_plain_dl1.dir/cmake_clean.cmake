@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plain_dl1.dir/test_plain_dl1.cpp.o"
+  "CMakeFiles/test_plain_dl1.dir/test_plain_dl1.cpp.o.d"
+  "test_plain_dl1"
+  "test_plain_dl1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plain_dl1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_core.dir/test_trace_core.cpp.o"
+  "CMakeFiles/test_trace_core.dir/test_trace_core.cpp.o.d"
+  "test_trace_core"
+  "test_trace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vwb.dir/test_vwb.cpp.o"
+  "CMakeFiles/test_vwb.dir/test_vwb.cpp.o.d"
+  "test_vwb"
+  "test_vwb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vwb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

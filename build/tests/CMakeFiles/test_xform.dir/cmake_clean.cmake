@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xform.dir/test_xform.cpp.o"
+  "CMakeFiles/test_xform.dir/test_xform.cpp.o.d"
+  "test_xform"
+  "test_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttsim_cli.dir/sttsim_cli.cpp.o"
+  "CMakeFiles/sttsim_cli.dir/sttsim_cli.cpp.o.d"
+  "sttsim"
+  "sttsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
