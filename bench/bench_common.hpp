@@ -1,16 +1,20 @@
 // Shared command-line handling for the figure benches.
 //
 // Usage of every fig binary:
-//   figN [--csv] [--kernels=a,b,c]
+//   figN [--csv] [--kernels=a,b,c] [--jobs=N]
 // With no arguments the full 14-kernel suite is run and a fixed-width table
 // (matching the paper figure's bars, plus the AVERAGE bar) is printed.
+// --jobs sets the worker-pool width of the parallel experiment engine
+// (default: one per hardware thread; --jobs=1 is the serial path).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "sttsim/exec/parallel_executor.hpp"
 #include "sttsim/report/figure.hpp"
 
 namespace sttsim::benchcli {
@@ -18,6 +22,7 @@ namespace sttsim::benchcli {
 struct Options {
   bool csv = false;
   std::vector<std::string> kernels;
+  unsigned jobs = 0;  ///< 0 = hardware_concurrency
 };
 
 inline Options parse(int argc, char** argv) {
@@ -26,6 +31,8 @@ inline Options parse(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
       o.csv = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      o.jobs = static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10));
     } else if (arg.rfind("--kernels=", 0) == 0) {
       std::string list = arg.substr(10);
       std::size_t pos = 0;
@@ -37,10 +44,12 @@ inline Options parse(int argc, char** argv) {
         pos = comma == std::string::npos ? comma : comma + 1;
       }
     } else {
-      std::fprintf(stderr, "usage: %s [--csv] [--kernels=a,b,c]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--csv] [--kernels=a,b,c] [--jobs=N]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
+  exec::set_default_jobs(o.jobs);
   return o;
 }
 

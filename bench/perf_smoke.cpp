@@ -1,0 +1,166 @@
+// Throughput telemetry for the parallel experiment engine: regenerates a
+// set of paper figures serially (--jobs=1) and on the full worker pool,
+// checks the outputs are byte-identical, and writes wall-clock,
+// simulations/sec and trace-ops-replayed/sec per figure to BENCH_perf.json
+// — the repo's performance trajectory file.
+//
+// Usage: perf_smoke [--jobs=N] [--kernels=a,b,c] [--out=FILE] [--quick]
+//   --jobs=N     pool width for the parallel pass (default: hardware)
+//   --kernels    kernel subset (default: the full suite)
+//   --quick      time fig1 only (CI-friendly)
+//   --out=FILE   output path (default: BENCH_perf.json)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/exec/telemetry.hpp"
+#include "sttsim/experiments/figures.hpp"
+#include "sttsim/report/figure.hpp"
+#include "sttsim/util/text.hpp"
+
+namespace {
+
+using namespace sttsim;
+
+struct TimedRun {
+  double wall_ms = 0.0;
+  exec::TelemetrySnapshot counts;
+  std::string csv;
+};
+
+struct FigureCase {
+  const char* name;
+  std::function<report::FigureData(const experiments::KernelFilter&)> make;
+};
+
+TimedRun time_figure(const FigureCase& fc,
+                     const experiments::KernelFilter& kernels,
+                     unsigned jobs) {
+  exec::set_default_jobs(jobs);
+  auto& telemetry = exec::Telemetry::instance();
+  const exec::TelemetrySnapshot before = telemetry.snapshot();
+  const auto t0 = std::chrono::steady_clock::now();
+  const report::FigureData fig = fc.make(kernels);
+  const auto t1 = std::chrono::steady_clock::now();
+  TimedRun r;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.counts = telemetry.snapshot() - before;
+  r.csv = report::render_csv(fig);
+  return r;
+}
+
+double per_sec(std::uint64_t count, double wall_ms) {
+  return wall_ms <= 0.0 ? 0.0 : static_cast<double>(count) / (wall_ms / 1e3);
+}
+
+std::string run_json(const TimedRun& r) {
+  return strprintf(
+      "{\"wall_ms\": %.2f, \"simulations\": %llu, \"sims_per_sec\": %.2f, "
+      "\"trace_ops\": %llu, \"trace_ops_per_sec\": %.0f, "
+      "\"traces_generated\": %llu}",
+      r.wall_ms, static_cast<unsigned long long>(r.counts.simulations),
+      per_sec(r.counts.simulations, r.wall_ms),
+      static_cast<unsigned long long>(r.counts.trace_ops),
+      per_sec(r.counts.trace_ops, r.wall_ms),
+      static_cast<unsigned long long>(r.counts.traces_generated));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  experiments::KernelFilter kernels;
+  unsigned jobs = exec::hardware_jobs();
+  std::string out_path = "BENCH_perf.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+      if (jobs == 0) jobs = exec::hardware_jobs();
+    } else if (arg.rfind("--kernels=", 0) == 0) {
+      std::string list = arg.substr(10);
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!name.empty()) kernels.push_back(name);
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs=N] [--kernels=a,b,c] [--out=FILE] "
+                   "[--quick]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<FigureCase> cases{
+      {"fig1_dropin_penalty", experiments::fig1_dropin_penalty}};
+  if (!quick) {
+    cases.push_back({"fig3_vwb_penalty", experiments::fig3_vwb_penalty});
+    cases.push_back(
+        {"fig5_transformations", experiments::fig5_transformations});
+  }
+
+  double serial_total_ms = 0.0;
+  double parallel_total_ms = 0.0;
+  bool all_identical = true;
+  std::string entries;
+  for (const FigureCase& fc : cases) {
+    const TimedRun serial = time_figure(fc, kernels, 1);
+    const TimedRun parallel = time_figure(fc, kernels, jobs);
+    const bool identical = serial.csv == parallel.csv;
+    all_identical = all_identical && identical;
+    serial_total_ms += serial.wall_ms;
+    parallel_total_ms += parallel.wall_ms;
+    const double speedup =
+        parallel.wall_ms <= 0.0 ? 0.0 : serial.wall_ms / parallel.wall_ms;
+    if (!entries.empty()) entries += ",\n";
+    entries += strprintf(
+        "    {\"name\": \"%s\",\n     \"serial\": %s,\n"
+        "     \"parallel\": %s,\n     \"speedup\": %.2f,\n"
+        "     \"identical_output\": %s}",
+        fc.name, run_json(serial).c_str(), run_json(parallel).c_str(),
+        speedup, identical ? "true" : "false");
+    std::printf("%-22s serial %8.1f ms | x%u %8.1f ms | speedup %.2fx | "
+                "%.0f sims/s, %.3g trace-ops/s%s\n",
+                fc.name, serial.wall_ms, jobs, parallel.wall_ms, speedup,
+                per_sec(parallel.counts.simulations, parallel.wall_ms),
+                per_sec(parallel.counts.trace_ops, parallel.wall_ms),
+                identical ? "" : "  [OUTPUT MISMATCH]");
+  }
+
+  const double total_speedup =
+      parallel_total_ms <= 0.0 ? 0.0 : serial_total_ms / parallel_total_ms;
+  const std::string json = strprintf(
+      "{\n  \"bench\": \"perf_smoke\",\n  \"hardware_jobs\": %u,\n"
+      "  \"parallel_jobs\": %u,\n  \"figures\": [\n%s\n  ],\n"
+      "  \"total\": {\"serial_wall_ms\": %.2f, \"parallel_wall_ms\": %.2f, "
+      "\"speedup\": %.2f, \"identical_output\": %s}\n}\n",
+      exec::hardware_jobs(), jobs, entries.c_str(), serial_total_ms,
+      parallel_total_ms, total_speedup, all_identical ? "true" : "false");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_smoke: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("total speedup %.2fx (serial %.1f ms -> %.1f ms at --jobs=%u); "
+              "wrote %s\n",
+              total_speedup, serial_total_ms, parallel_total_ms, jobs,
+              out_path.c_str());
+  return all_identical ? 0 : 1;
+}

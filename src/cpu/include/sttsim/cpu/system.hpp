@@ -70,7 +70,14 @@ struct SystemConfig {
 /// A fully-wired single-core platform.
 class System {
  public:
+  /// Tag for the pre-validated constructor: the parallel experiment engine
+  /// validates each grid configuration once and then builds many Systems
+  /// from it, skipping the redundant per-job validation.
+  struct Prevalidated {};
+  static constexpr Prevalidated kPrevalidated{};
+
   explicit System(const SystemConfig& config);
+  System(const SystemConfig& config, Prevalidated);
 
   /// Runs a trace on a *fresh* system state (cold caches) and returns stats.
   sim::RunStats run(const Trace& trace);
@@ -86,6 +93,8 @@ class System {
   void reset();
 
  private:
+  void build();
+
   SystemConfig cfg_;
   std::unique_ptr<mem::L2System> l2_;
   std::unique_ptr<core::Dl1System> dl1_;

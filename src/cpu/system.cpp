@@ -89,6 +89,14 @@ void SystemConfig::validate() const {
 
 System::System(const SystemConfig& config) : cfg_(config) {
   cfg_.validate();
+  build();
+}
+
+System::System(const SystemConfig& config, Prevalidated) : cfg_(config) {
+  build();
+}
+
+void System::build() {
   l2_ = std::make_unique<mem::L2System>(cfg_.l2);
   const core::Dl1Config dl1 = cfg_.dl1_config();
   switch (cfg_.organization) {

@@ -1,0 +1,91 @@
+// Concurrency-safe memoization: a shared_mutex-guarded map whose values
+// are produced by a per-key once-latch, so each value is generated exactly
+// once even when many jobs request the same key simultaneously (the other
+// requesters block on the latch, not on the map lock, so unrelated keys
+// generate in parallel).
+//
+// experiments::TraceCache instantiates this for (kernel, codegen) -> Trace;
+// the template itself is simulator-agnostic so the ThreadSanitizer test
+// target can exercise it without linking the simulation libraries.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <utility>
+
+namespace sttsim::exec {
+
+template <typename Key, typename Value, typename Compare = std::less<>>
+class ConcurrentMemoCache {
+ public:
+  /// Returns the value for `lookup`, generating it with `gen()` on first
+  /// use. `lookup` may be a cheap view type (heterogeneous comparison via
+  /// a transparent `Compare`); `make_key()` materializes the owning Key
+  /// only on the insertion path, so cache hits allocate nothing. If `gen`
+  /// throws, the entry stays ungenerated and the next requester retries.
+  template <typename LookupKey, typename MakeKey, typename Generator>
+  const Value& get_or_generate(const LookupKey& lookup, MakeKey&& make_key,
+                               Generator&& gen) {
+    Entry* entry = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> read(mu_);
+      const auto it = map_.find(lookup);
+      if (it != map_.end()) entry = &it->second;
+    }
+    if (entry == nullptr) {
+      std::unique_lock<std::shared_mutex> write(mu_);
+      entry = &map_[std::forward<MakeKey>(make_key)()];
+    }
+    // Per-key latch (explicit mutex/condvar rather than std::call_once,
+    // whose exceptional path is not ThreadSanitizer-clean in libstdc++).
+    std::unique_lock<std::mutex> lock(entry->mu);
+    while (true) {
+      if (entry->value.has_value()) return *entry->value;
+      if (!entry->generating) break;
+      entry->done.wait(lock);
+    }
+    entry->generating = true;
+    lock.unlock();
+    try {
+      Value v = gen();
+      lock.lock();
+      entry->value.emplace(std::move(v));
+    } catch (...) {
+      lock.lock();
+      entry->generating = false;  // let the next requester retry
+      entry->done.notify_all();
+      lock.unlock();
+      throw;
+    }
+    entry->generating = false;
+    generated_.fetch_add(1, std::memory_order_relaxed);
+    entry->done.notify_all();
+    // The value is immutable from here on; readers only need the entry.
+    return *entry->value;
+  }
+
+  /// Number of generated entries.
+  std::size_t entries() const {
+    return generated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::condition_variable done;
+    bool generating = false;
+    std::optional<Value> value;
+  };
+
+  mutable std::shared_mutex mu_;
+  std::map<Key, Entry, Compare> map_;  // node stability keeps Entry* valid
+  std::atomic<std::size_t> generated_{0};
+};
+
+}  // namespace sttsim::exec

@@ -1,0 +1,54 @@
+// Process-wide throughput counters for the experiment engine: how many
+// simulations ran, how many trace operations they replayed, and how many
+// traces were generated. The perf_smoke bench snapshots these around each
+// figure to derive simulations/sec and trace-ops/sec for BENCH_perf.json.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sttsim::exec {
+
+struct TelemetrySnapshot {
+  std::uint64_t simulations = 0;      ///< completed System::run calls
+  std::uint64_t trace_ops = 0;        ///< trace operations replayed
+  std::uint64_t traces_generated = 0; ///< kernel traces generated (not hits)
+
+  TelemetrySnapshot operator-(const TelemetrySnapshot& rhs) const {
+    return {simulations - rhs.simulations, trace_ops - rhs.trace_ops,
+            traces_generated - rhs.traces_generated};
+  }
+};
+
+/// Thread-safe global counters (atomics; cheap enough for per-run bumps).
+class Telemetry {
+ public:
+  static Telemetry& instance();
+
+  void count_simulation(std::uint64_t ops_replayed) {
+    simulations_.fetch_add(1, std::memory_order_relaxed);
+    trace_ops_.fetch_add(ops_replayed, std::memory_order_relaxed);
+  }
+  void count_trace_generated() {
+    traces_generated_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  TelemetrySnapshot snapshot() const {
+    return {simulations_.load(std::memory_order_relaxed),
+            trace_ops_.load(std::memory_order_relaxed),
+            traces_generated_.load(std::memory_order_relaxed)};
+  }
+
+  void reset() {
+    simulations_.store(0, std::memory_order_relaxed);
+    trace_ops_.store(0, std::memory_order_relaxed);
+    traces_generated_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> simulations_{0};
+  std::atomic<std::uint64_t> trace_ops_{0};
+  std::atomic<std::uint64_t> traces_generated_{0};
+};
+
+}  // namespace sttsim::exec

@@ -1,0 +1,10 @@
+#include "sttsim/exec/telemetry.hpp"
+
+namespace sttsim::exec {
+
+Telemetry& Telemetry::instance() {
+  static Telemetry t;
+  return t;
+}
+
+}  // namespace sttsim::exec

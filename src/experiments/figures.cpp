@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/exec/telemetry.hpp"
 #include "sttsim/experiments/harness.hpp"
 #include "sttsim/reliability/endurance.hpp"
 #include "sttsim/report/table.hpp"
@@ -14,20 +16,6 @@ namespace {
 using cpu::Dl1Organization;
 using workloads::CodegenOptions;
 using workloads::Kernel;
-
-/// Runs every selected kernel on `org` with `opts`; returns stats in suite
-/// order.
-std::vector<sim::RunStats> run_suite(TraceCache& cache,
-                                     const std::vector<Kernel>& kernels,
-                                     const cpu::SystemConfig& config,
-                                     const CodegenOptions& opts) {
-  std::vector<sim::RunStats> out;
-  out.reserve(kernels.size());
-  for (const Kernel& k : kernels) {
-    out.push_back(run_kernel(cache, k, config, opts));
-  }
-  return out;
-}
 
 std::vector<std::string> labels_of(const std::vector<Kernel>& kernels) {
   std::vector<std::string> out;
@@ -83,10 +71,12 @@ report::FigureData fig1_dropin_penalty(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const CodegenOptions base = CodegenOptions::none();
-  const auto sram = run_suite(cache, kernels,
-                              make_config(Dl1Organization::kSramBaseline), base);
-  const auto nvm = run_suite(cache, kernels,
-                             make_config(Dl1Organization::kNvmDropIn), base);
+  const auto grid = run_grid(
+      cache, kernels,
+      {{make_config(Dl1Organization::kSramBaseline), base},
+       {make_config(Dl1Organization::kNvmDropIn), base}});
+  const auto& sram = grid[0];
+  const auto& nvm = grid[1];
   report::FigureData fig;
   fig.title =
       "Fig. 1 - Performance penalty for the drop-in NVM D-cache, relative to "
@@ -102,12 +92,14 @@ report::FigureData fig3_vwb_penalty(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const CodegenOptions base = CodegenOptions::none();
-  const auto sram = run_suite(cache, kernels,
-                              make_config(Dl1Organization::kSramBaseline), base);
-  const auto dropin = run_suite(cache, kernels,
-                                make_config(Dl1Organization::kNvmDropIn), base);
-  const auto vwb = run_suite(cache, kernels,
-                             make_config(Dl1Organization::kNvmVwb), base);
+  const auto grid = run_grid(
+      cache, kernels,
+      {{make_config(Dl1Organization::kSramBaseline), base},
+       {make_config(Dl1Organization::kNvmDropIn), base},
+       {make_config(Dl1Organization::kNvmVwb), base}});
+  const auto& sram = grid[0];
+  const auto& dropin = grid[1];
+  const auto& vwb = grid[2];
   report::FigureData fig;
   fig.title =
       "Fig. 3 - Performance penalty for the modified NVM D-Cache (with VWB) "
@@ -124,10 +116,12 @@ report::FigureData fig4_rw_breakdown(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const CodegenOptions base = CodegenOptions::none();
-  const auto sram = run_suite(cache, kernels,
-                              make_config(Dl1Organization::kSramBaseline), base);
-  const auto vwb = run_suite(cache, kernels,
-                             make_config(Dl1Organization::kNvmVwb), base);
+  const auto grid = run_grid(
+      cache, kernels,
+      {{make_config(Dl1Organization::kSramBaseline), base},
+       {make_config(Dl1Organization::kNvmVwb), base}});
+  const auto& sram = grid[0];
+  const auto& vwb = grid[1];
   report::FigureData fig;
   fig.title =
       "Fig. 4 - Relative contribution of read vs write access latency to the "
@@ -160,16 +154,18 @@ report::FigureData fig5_transformations(const KernelFilter& filter) {
   TraceCache cache;
   const CodegenOptions base = CodegenOptions::none();
   const CodegenOptions full = CodegenOptions::all();
-  const auto sram_base = run_suite(
-      cache, kernels, make_config(Dl1Organization::kSramBaseline), base);
-  const auto sram_opt = run_suite(
-      cache, kernels, make_config(Dl1Organization::kSramBaseline), full);
-  const auto dropin = run_suite(cache, kernels,
-                                make_config(Dl1Organization::kNvmDropIn), base);
-  const auto vwb_base = run_suite(cache, kernels,
-                                  make_config(Dl1Organization::kNvmVwb), base);
-  const auto vwb_opt = run_suite(cache, kernels,
-                                 make_config(Dl1Organization::kNvmVwb), full);
+  const auto grid = run_grid(
+      cache, kernels,
+      {{make_config(Dl1Organization::kSramBaseline), base},
+       {make_config(Dl1Organization::kSramBaseline), full},
+       {make_config(Dl1Organization::kNvmDropIn), base},
+       {make_config(Dl1Organization::kNvmVwb), base},
+       {make_config(Dl1Organization::kNvmVwb), full}});
+  const auto& sram_base = grid[0];
+  const auto& sram_opt = grid[1];
+  const auto& dropin = grid[2];
+  const auto& vwb_base = grid[3];
+  const auto& vwb_opt = grid[4];
   report::FigureData fig;
   fig.title =
       "Fig. 5 - Performance penalty of the modified NVM DL1 (with VWB) with "
@@ -188,13 +184,16 @@ report::FigureData fig6_contributions(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const cpu::SystemConfig vwb_cfg = make_config(Dl1Organization::kNvmVwb);
-  const auto none = run_suite(cache, kernels, vwb_cfg, CodegenOptions::none());
-  const auto vec =
-      run_suite(cache, kernels, vwb_cfg, CodegenOptions::only_vectorize());
-  const auto pf =
-      run_suite(cache, kernels, vwb_cfg, CodegenOptions::only_prefetch());
-  const auto br =
-      run_suite(cache, kernels, vwb_cfg, CodegenOptions::only_branch_opts());
+  const auto grid = run_grid(
+      cache, kernels,
+      {{vwb_cfg, CodegenOptions::none()},
+       {vwb_cfg, CodegenOptions::only_vectorize()},
+       {vwb_cfg, CodegenOptions::only_prefetch()},
+       {vwb_cfg, CodegenOptions::only_branch_opts()}});
+  const auto& none = grid[0];
+  const auto& vec = grid[1];
+  const auto& pf = grid[2];
+  const auto& br = grid[3];
   report::FigureData fig;
   fig.title =
       "Fig. 6 - Contribution of the individual code transformations to the "
@@ -231,20 +230,23 @@ report::FigureData vwb_size_sweep(const KernelFilter& filter,
                                   const std::string& title) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
-  const auto sram = run_suite(cache, kernels,
-                              make_config(Dl1Organization::kSramBaseline),
-                              opts);
+  const std::vector<unsigned> kbits{1u, 2u, 4u};
+  std::vector<SuiteJob> jobs{
+      {make_config(Dl1Organization::kSramBaseline), opts}};
+  for (const unsigned kbit : kbits) {
+    cpu::SystemConfig cfg = make_config(Dl1Organization::kNvmVwb);
+    cfg.vwb_total_kbit = kbit;
+    jobs.push_back({cfg, opts});
+  }
+  const auto grid = run_grid(cache, kernels, jobs);
   report::FigureData fig;
   fig.title = title;
   fig.row_header = "kernel";
   fig.value_unit = "%";
   fig.row_labels = labels_of(kernels);
-  for (const unsigned kbit : {1u, 2u, 4u}) {
-    cpu::SystemConfig cfg = make_config(Dl1Organization::kNvmVwb);
-    cfg.vwb_total_kbit = kbit;
-    const auto runs = run_suite(cache, kernels, cfg, opts);
-    fig.series.push_back(
-        {strprintf("VWB = %uKBit", kbit), penalties(runs, sram)});
+  for (std::size_t i = 0; i < kbits.size(); ++i) {
+    fig.series.push_back({strprintf("VWB = %uKBit", kbits[i]),
+                          penalties(grid[i + 1], grid[0])});
   }
   return report::with_average_row(std::move(fig));
 }
@@ -269,14 +271,13 @@ report::FigureData fig8_alternatives(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const CodegenOptions full = CodegenOptions::all();
-  const auto sram = run_suite(
-      cache, kernels, make_config(Dl1Organization::kSramBaseline), full);
-  const auto vwb =
-      run_suite(cache, kernels, make_config(Dl1Organization::kNvmVwb), full);
-  const auto emshr =
-      run_suite(cache, kernels, make_config(Dl1Organization::kNvmEmshr), full);
-  const auto l0 =
-      run_suite(cache, kernels, make_config(Dl1Organization::kNvmL0), full);
+  const auto grid = run_grid(
+      cache, kernels,
+      {{make_config(Dl1Organization::kSramBaseline), full},
+       {make_config(Dl1Organization::kNvmVwb), full},
+       {make_config(Dl1Organization::kNvmEmshr), full},
+       {make_config(Dl1Organization::kNvmL0), full}});
+  const auto& sram = grid[0];
   report::FigureData fig;
   fig.title =
       "Fig. 8 - Performance penalty: our proposal vs a modified L0 cache and "
@@ -285,9 +286,9 @@ report::FigureData fig8_alternatives(const KernelFilter& filter) {
   fig.row_header = "kernel";
   fig.value_unit = "%";
   fig.row_labels = labels_of(kernels);
-  fig.series.push_back({"Our Proposal", penalties(vwb, sram)});
-  fig.series.push_back({"EMSHR", penalties(emshr, sram)});
-  fig.series.push_back({"L0-Cache", penalties(l0, sram)});
+  fig.series.push_back({"Our Proposal", penalties(grid[1], sram)});
+  fig.series.push_back({"EMSHR", penalties(grid[2], sram)});
+  fig.series.push_back({"L0-Cache", penalties(grid[3], sram)});
   return report::with_average_row(std::move(fig));
 }
 
@@ -299,10 +300,15 @@ report::FigureData fig9_baseline_gain(const KernelFilter& filter) {
   const cpu::SystemConfig sram_cfg =
       make_config(Dl1Organization::kSramBaseline);
   const cpu::SystemConfig vwb_cfg = make_config(Dl1Organization::kNvmVwb);
-  const auto sram_base = run_suite(cache, kernels, sram_cfg, base);
-  const auto sram_opt = run_suite(cache, kernels, sram_cfg, full);
-  const auto vwb_base = run_suite(cache, kernels, vwb_cfg, base);
-  const auto vwb_opt = run_suite(cache, kernels, vwb_cfg, full);
+  const auto grid = run_grid(cache, kernels,
+                             {{sram_cfg, base},
+                              {sram_cfg, full},
+                              {vwb_cfg, base},
+                              {vwb_cfg, full}});
+  const auto& sram_base = grid[0];
+  const auto& sram_opt = grid[1];
+  const auto& vwb_base = grid[2];
+  const auto& vwb_opt = grid[3];
   report::FigureData fig;
   fig.title =
       "Fig. 9 - Effect of the code transformations on the SRAM baseline vs "
@@ -325,8 +331,15 @@ report::FigureData ablation_banking(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const CodegenOptions full = CodegenOptions::all();
-  const auto sram = run_suite(
-      cache, kernels, make_config(Dl1Organization::kSramBaseline), full);
+  const std::vector<unsigned> bank_counts{1u, 2u, 4u, 8u};
+  std::vector<SuiteJob> jobs{
+      {make_config(Dl1Organization::kSramBaseline), full}};
+  for (const unsigned banks : bank_counts) {
+    cpu::SystemConfig cfg = make_config(Dl1Organization::kNvmVwb);
+    cfg.nvm_banks = banks;
+    jobs.push_back({cfg, full});
+  }
+  const auto grid = run_grid(cache, kernels, jobs);
   report::FigureData fig;
   fig.title =
       "Ablation A1 - NVM array banking vs optimized-VWB penalty (SRAM "
@@ -334,13 +347,11 @@ report::FigureData ablation_banking(const KernelFilter& filter) {
   fig.row_header = "kernel";
   fig.value_unit = "%";
   fig.row_labels = labels_of(kernels);
-  for (const unsigned banks : {1u, 2u, 4u, 8u}) {
-    cpu::SystemConfig cfg = make_config(Dl1Organization::kNvmVwb);
-    cfg.nvm_banks = banks;
-    const auto runs = run_suite(cache, kernels, cfg, full);
+  for (std::size_t i = 0; i < bank_counts.size(); ++i) {
     fig.series.push_back(
-        {strprintf("%u bank%s", banks, banks == 1 ? "" : "s"),
-         penalties(runs, sram)});
+        {strprintf("%u bank%s", bank_counts[i],
+                   bank_counts[i] == 1 ? "" : "s"),
+         penalties(grid[i + 1], grid[0])});
   }
   return report::with_average_row(std::move(fig));
 }
@@ -349,8 +360,15 @@ report::FigureData ablation_store_buffer(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const CodegenOptions base = CodegenOptions::none();
-  const auto sram = run_suite(
-      cache, kernels, make_config(Dl1Organization::kSramBaseline), base);
+  const std::vector<unsigned> depths{1u, 2u, 4u, 8u};
+  std::vector<SuiteJob> jobs{
+      {make_config(Dl1Organization::kSramBaseline), base}};
+  for (const unsigned depth : depths) {
+    cpu::SystemConfig cfg = make_config(Dl1Organization::kNvmDropIn);
+    cfg.store_buffer_depth = depth;
+    jobs.push_back({cfg, base});
+  }
+  const auto grid = run_grid(cache, kernels, jobs);
   report::FigureData fig;
   fig.title =
       "Ablation A2 - Store-buffer depth vs drop-in NVM penalty (SRAM "
@@ -358,12 +376,9 @@ report::FigureData ablation_store_buffer(const KernelFilter& filter) {
   fig.row_header = "kernel";
   fig.value_unit = "%";
   fig.row_labels = labels_of(kernels);
-  for (const unsigned depth : {1u, 2u, 4u, 8u}) {
-    cpu::SystemConfig cfg = make_config(Dl1Organization::kNvmDropIn);
-    cfg.store_buffer_depth = depth;
-    const auto runs = run_suite(cache, kernels, cfg, base);
-    fig.series.push_back(
-        {strprintf("depth %u", depth), penalties(runs, sram)});
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    fig.series.push_back({strprintf("depth %u", depths[i]),
+                          penalties(grid[i + 1], grid[0])});
   }
   return report::with_average_row(std::move(fig));
 }
@@ -372,14 +387,13 @@ report::FigureData ablation_write_mitigation(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const CodegenOptions base = CodegenOptions::none();
-  const auto sram = run_suite(
-      cache, kernels, make_config(Dl1Organization::kSramBaseline), base);
-  const auto dropin = run_suite(cache, kernels,
-                                make_config(Dl1Organization::kNvmDropIn), base);
-  const auto vwb = run_suite(cache, kernels,
-                             make_config(Dl1Organization::kNvmVwb), base);
-  const auto wbuf = run_suite(
-      cache, kernels, make_config(Dl1Organization::kNvmWriteBuf), base);
+  const auto grid = run_grid(
+      cache, kernels,
+      {{make_config(Dl1Organization::kSramBaseline), base},
+       {make_config(Dl1Organization::kNvmDropIn), base},
+       {make_config(Dl1Organization::kNvmVwb), base},
+       {make_config(Dl1Organization::kNvmWriteBuf), base}});
+  const auto& sram = grid[0];
   report::FigureData fig;
   fig.title =
       "Ablation A4 - Read-oriented (VWB) vs write-oriented (SRAM write "
@@ -387,9 +401,9 @@ report::FigureData ablation_write_mitigation(const KernelFilter& filter) {
   fig.row_header = "kernel";
   fig.value_unit = "%";
   fig.row_labels = labels_of(kernels);
-  fig.series.push_back({"Drop-in NVM", penalties(dropin, sram)});
-  fig.series.push_back({"VWB (read-oriented)", penalties(vwb, sram)});
-  fig.series.push_back({"Write buffer [2]-style", penalties(wbuf, sram)});
+  fig.series.push_back({"Drop-in NVM", penalties(grid[1], sram)});
+  fig.series.push_back({"VWB (read-oriented)", penalties(grid[2], sram)});
+  fig.series.push_back({"Write buffer [2]-style", penalties(grid[3], sram)});
   return report::with_average_row(std::move(fig));
 }
 
@@ -397,27 +411,39 @@ std::string lifetime_report(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const CodegenOptions base = CodegenOptions::none();
-  report::TableBuilder t({"kernel", "max frame writes/s", "STT-MRAM (1e16)",
-                          "ReRAM (1e8)", "PRAM (1e6)",
-                          "PRAM + ideal levelling"});
   const auto stt = reliability::stt_mram_endurance();
   const auto reram = reliability::reram_endurance();
   const auto pram = reliability::pram_endurance();
-  for (const Kernel& k : kernels) {
-    cpu::System system(make_config(Dl1Organization::kNvmVwb));
-    const sim::RunStats stats = system.run(cache.get(k, base));
-    const auto wear = reliability::profile_wear(
-        system.dl1().array(), stats.core.total_cycles, 1.0);
-    t.add_row({k.name, strprintf("%.3g", wear.max_write_rate_hz()),
-               reliability::format_lifetime(
-                   reliability::project_lifetime(wear, stt)),
-               reliability::format_lifetime(
-                   reliability::project_lifetime(wear, reram)),
-               reliability::format_lifetime(
-                   reliability::project_lifetime(wear, pram)),
-               reliability::format_lifetime(
-                   reliability::project_lifetime_leveled(wear, pram))});
-  }
+  const cpu::SystemConfig cfg = make_config(Dl1Organization::kNvmVwb);
+  cfg.validate();
+  // Wear profiling needs the System's DL1 array after the run, so this
+  // report fans whole per-kernel jobs (run + profile + row formatting)
+  // across the pool rather than going through run_grid.
+  exec::ParallelExecutor pool;
+  const std::vector<std::vector<std::string>> rows =
+      pool.map(kernels.size(), [&](std::size_t i) {
+        const Kernel& k = kernels[i];
+        const cpu::Trace& trace = cache.get(k, base);
+        cpu::System system(cfg, cpu::System::kPrevalidated);
+        const sim::RunStats stats = system.run(trace);
+        exec::Telemetry::instance().count_simulation(trace.size());
+        const auto wear = reliability::profile_wear(
+            system.dl1().array(), stats.core.total_cycles, 1.0);
+        return std::vector<std::string>{
+            k.name, strprintf("%.3g", wear.max_write_rate_hz()),
+            reliability::format_lifetime(
+                reliability::project_lifetime(wear, stt)),
+            reliability::format_lifetime(
+                reliability::project_lifetime(wear, reram)),
+            reliability::format_lifetime(
+                reliability::project_lifetime(wear, pram)),
+            reliability::format_lifetime(
+                reliability::project_lifetime_leveled(wear, pram))};
+      });
+  report::TableBuilder t({"kernel", "max frame writes/s", "STT-MRAM (1e16)",
+                          "ReRAM (1e8)", "PRAM (1e6)",
+                          "PRAM + ideal levelling"});
+  for (const auto& row : rows) t.add_row(row);
   return std::string(
              "A5 - Projected DL1 time-to-first-cell-failure under sustained "
              "kernel write pressure\n(Section II's technology triage made "
@@ -430,10 +456,12 @@ report::FigureData energy_report(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const CodegenOptions base = CodegenOptions::none();
-  const auto sram = run_suite(
-      cache, kernels, make_config(Dl1Organization::kSramBaseline), base);
-  const auto vwb = run_suite(cache, kernels,
-                             make_config(Dl1Organization::kNvmVwb), base);
+  const auto grid = run_grid(
+      cache, kernels,
+      {{make_config(Dl1Organization::kSramBaseline), base},
+       {make_config(Dl1Organization::kNvmVwb), base}});
+  const auto& sram = grid[0];
+  const auto& vwb = grid[1];
   report::FigureData fig;
   fig.title =
       "A3 - DL1 energy per kernel run (dynamic array accesses + leakage)";
@@ -457,20 +485,21 @@ report::FigureData exploration_iso_area(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const CodegenOptions base = CodegenOptions::none();
-  const auto sram = run_suite(
-      cache, kernels, make_config(Dl1Organization::kSramBaseline), base);
-  const auto vwb64 = run_suite(cache, kernels,
-                               make_config(Dl1Organization::kNvmVwb), base);
   // Realistic scaling: the doubled array pays sqrt(2) more latency
   // (3.37 ns -> 4.77 ns quantizes to a 5th read cycle).
   cpu::SystemConfig big = make_config(Dl1Organization::kNvmVwb);
   big.stt = tech::scale_capacity(big.stt, 128 * kKiB);
-  const auto vwb128 = run_suite(cache, kernels, big, base);
   // Optimistic bound: capacity doubles at unchanged latency (banked-array
   // designs can approach this by keeping subarray size constant).
   cpu::SystemConfig big_fast = make_config(Dl1Organization::kNvmVwb);
   big_fast.stt.capacity_bytes = 128 * kKiB;
-  const auto vwb128f = run_suite(cache, kernels, big_fast, base);
+  const auto grid = run_grid(
+      cache, kernels,
+      {{make_config(Dl1Organization::kSramBaseline), base},
+       {make_config(Dl1Organization::kNvmVwb), base},
+       {big, base},
+       {big_fast, base}});
+  const auto& sram = grid[0];
   report::FigureData fig;
   fig.title =
       "X6 - Iso-area capacity: 64 KB vs 128 KB STT-MRAM DL1 (the 64 KB SRAM "
@@ -480,9 +509,9 @@ report::FigureData exploration_iso_area(const KernelFilter& filter) {
   fig.row_header = "kernel";
   fig.value_unit = "%";
   fig.row_labels = labels_of(kernels);
-  fig.series.push_back({"VWB 64KB", penalties(vwb64, sram)});
-  fig.series.push_back({"VWB 128KB scaled", penalties(vwb128, sram)});
-  fig.series.push_back({"VWB 128KB subarrayed", penalties(vwb128f, sram)});
+  fig.series.push_back({"VWB 64KB", penalties(grid[1], sram)});
+  fig.series.push_back({"VWB 128KB scaled", penalties(grid[2], sram)});
+  fig.series.push_back({"VWB 128KB subarrayed", penalties(grid[3], sram)});
   return report::with_average_row(std::move(fig));
 }
 
@@ -490,6 +519,18 @@ report::FigureData sensitivity_clock(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const CodegenOptions base = CodegenOptions::none();
+  const std::vector<double> clocks{1.0, 1.5, 2.0, 3.0};
+  // One batch for the whole sweep: (SRAM, NVM) pairs per clock.
+  std::vector<SuiteJob> jobs;
+  for (const double ghz : clocks) {
+    cpu::SystemConfig s_cfg = make_config(Dl1Organization::kSramBaseline);
+    s_cfg.clock_ghz = ghz;
+    cpu::SystemConfig n_cfg = make_config(Dl1Organization::kNvmDropIn);
+    n_cfg.clock_ghz = ghz;
+    jobs.push_back({s_cfg, base});
+    jobs.push_back({n_cfg, base});
+  }
+  const auto grid = run_grid(cache, kernels, jobs);
   report::FigureData fig;
   fig.title =
       "X7 - Drop-in penalty vs core clock (the STT read quantizes to more "
@@ -497,15 +538,9 @@ report::FigureData sensitivity_clock(const KernelFilter& filter) {
   fig.row_header = "kernel";
   fig.value_unit = "%";
   fig.row_labels = labels_of(kernels);
-  for (const double ghz : {1.0, 1.5, 2.0, 3.0}) {
-    cpu::SystemConfig s_cfg = make_config(Dl1Organization::kSramBaseline);
-    s_cfg.clock_ghz = ghz;
-    cpu::SystemConfig n_cfg = make_config(Dl1Organization::kNvmDropIn);
-    n_cfg.clock_ghz = ghz;
-    const auto sram = run_suite(cache, kernels, s_cfg, base);
-    const auto nvm = run_suite(cache, kernels, n_cfg, base);
-    fig.series.push_back(
-        {strprintf("%.1f GHz", ghz), penalties(nvm, sram)});
+  for (std::size_t i = 0; i < clocks.size(); ++i) {
+    fig.series.push_back({strprintf("%.1f GHz", clocks[i]),
+                          penalties(grid[2 * i + 1], grid[2 * i])});
   }
   return report::with_average_row(std::move(fig));
 }
@@ -514,8 +549,22 @@ report::FigureData sensitivity_cell(const KernelFilter& filter) {
   const std::vector<Kernel> kernels = select_kernels(filter);
   TraceCache cache;
   const CodegenOptions base = CodegenOptions::none();
-  const auto sram = run_suite(
-      cache, kernels, make_config(Dl1Organization::kSramBaseline), base);
+  const auto dual = tech::stt_mram_l1d_64kb();
+  const auto mtj1 = tech::stt_mram_l1d_64kb_1t1mtj();
+  const auto cfg_with = [&](const tech::TechnologyParams& cell,
+                            Dl1Organization org) {
+    cpu::SystemConfig cfg = make_config(org);
+    cfg.stt = cell;
+    return cfg;
+  };
+  const auto grid = run_grid(
+      cache, kernels,
+      {{make_config(Dl1Organization::kSramBaseline), base},
+       {cfg_with(dual, Dl1Organization::kNvmDropIn), base},
+       {cfg_with(mtj1, Dl1Organization::kNvmDropIn), base},
+       {cfg_with(dual, Dl1Organization::kNvmVwb), base},
+       {cfg_with(mtj1, Dl1Organization::kNvmVwb), base}});
+  const auto& sram = grid[0];
   report::FigureData fig;
   fig.title =
       "X8 - Cell-generation sensitivity: the Section III bottleneck flip "
@@ -524,22 +573,10 @@ report::FigureData sensitivity_cell(const KernelFilter& filter) {
   fig.row_header = "kernel";
   fig.value_unit = "%";
   fig.row_labels = labels_of(kernels);
-  const auto run_with = [&](const tech::TechnologyParams& cell,
-                            Dl1Organization org) {
-    cpu::SystemConfig cfg = make_config(org);
-    cfg.stt = cell;
-    return run_suite(cache, kernels, cfg, base);
-  };
-  const auto dual = tech::stt_mram_l1d_64kb();
-  const auto mtj1 = tech::stt_mram_l1d_64kb_1t1mtj();
-  fig.series.push_back(
-      {"dual-MTJ drop-in", penalties(run_with(dual, Dl1Organization::kNvmDropIn), sram)});
-  fig.series.push_back(
-      {"1T-1MTJ drop-in", penalties(run_with(mtj1, Dl1Organization::kNvmDropIn), sram)});
-  fig.series.push_back(
-      {"dual-MTJ + VWB", penalties(run_with(dual, Dl1Organization::kNvmVwb), sram)});
-  fig.series.push_back(
-      {"1T-1MTJ + VWB", penalties(run_with(mtj1, Dl1Organization::kNvmVwb), sram)});
+  fig.series.push_back({"dual-MTJ drop-in", penalties(grid[1], sram)});
+  fig.series.push_back({"1T-1MTJ drop-in", penalties(grid[2], sram)});
+  fig.series.push_back({"dual-MTJ + VWB", penalties(grid[3], sram)});
+  fig.series.push_back({"1T-1MTJ + VWB", penalties(grid[4], sram)});
   return report::with_average_row(std::move(fig));
 }
 

@@ -1,8 +1,20 @@
 #include "sttsim/experiments/harness.hpp"
 
+#include <tuple>
+
+#include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/exec/telemetry.hpp"
 #include "sttsim/util/check.hpp"
 
 namespace sttsim::experiments {
+namespace {
+
+auto codegen_tuple(const workloads::CodegenOptions& o) {
+  return std::make_tuple(o.vectorize, o.vector_width, o.prefetch,
+                         o.prefetch_distance_bytes, o.branch_opts);
+}
+
+}  // namespace
 
 double penalty_pct(const sim::RunStats& variant,
                    const sim::RunStats& baseline) {
@@ -20,21 +32,64 @@ double gain_pct(const sim::RunStats& unoptimized,
   return (u - o) / u * 100.0;
 }
 
+bool TraceCache::KeyLess::less(const KeyView& a, const KeyView& b) {
+  if (const int c = a.kernel.compare(b.kernel); c != 0) return c < 0;
+  return codegen_tuple(*a.opts) < codegen_tuple(*b.opts);
+}
+
 const cpu::Trace& TraceCache::get(const workloads::Kernel& kernel,
                                   const workloads::CodegenOptions& opts) {
-  const std::string key = kernel.name + "/" + opts.label();
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    it = cache_.emplace(key, kernel.generate(opts)).first;
-  }
-  return it->second;
+  const KeyView lookup{kernel.name, &opts};
+  return cache_.get_or_generate(
+      lookup, [&] { return Key{kernel.name, opts}; },
+      [&] {
+        exec::Telemetry::instance().count_trace_generated();
+        return kernel.generate(opts);
+      });
 }
 
 sim::RunStats run_kernel(TraceCache& cache, const workloads::Kernel& kernel,
                          const cpu::SystemConfig& config,
                          const workloads::CodegenOptions& opts) {
+  const cpu::Trace& trace = cache.get(kernel, opts);
   cpu::System system(config);
-  return system.run(cache.get(kernel, opts));
+  const sim::RunStats stats = system.run(trace);
+  exec::Telemetry::instance().count_simulation(trace.size());
+  return stats;
+}
+
+std::vector<std::vector<sim::RunStats>> run_grid(
+    TraceCache& cache, const std::vector<workloads::Kernel>& kernels,
+    const std::vector<SuiteJob>& jobs) {
+  // Validate each configuration once, here, instead of once per grid
+  // point: the jobs then construct Systems on the pre-validated path.
+  for (const SuiteJob& job : jobs) job.config.validate();
+  const std::size_t n_kernels = kernels.size();
+  exec::ParallelExecutor pool;
+  std::vector<sim::RunStats> flat =
+      pool.map(jobs.size() * n_kernels, [&](std::size_t idx) {
+        const SuiteJob& job = jobs[idx / n_kernels];
+        const workloads::Kernel& kernel = kernels[idx % n_kernels];
+        const cpu::Trace& trace = cache.get(kernel, job.opts);
+        cpu::System system(job.config, cpu::System::kPrevalidated);
+        const sim::RunStats stats = system.run(trace);
+        exec::Telemetry::instance().count_simulation(trace.size());
+        return stats;
+      });
+  std::vector<std::vector<sim::RunStats>> out;
+  out.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    out.emplace_back(flat.begin() + static_cast<std::ptrdiff_t>(j * n_kernels),
+                     flat.begin() +
+                         static_cast<std::ptrdiff_t>((j + 1) * n_kernels));
+  }
+  return out;
+}
+
+std::vector<sim::RunStats> run_suite(
+    TraceCache& cache, const std::vector<workloads::Kernel>& kernels,
+    const cpu::SystemConfig& config, const workloads::CodegenOptions& opts) {
+  return std::move(run_grid(cache, kernels, {{config, opts}}).front());
 }
 
 cpu::SystemConfig make_config(cpu::Dl1Organization org) {

@@ -1,12 +1,14 @@
 // Shared plumbing for the paper's experiments: run (kernel x organization x
-// codegen) grids, compute penalties/gains, and cache generated traces.
+// codegen) grids — fanned across a thread pool — compute penalties/gains,
+// and cache generated traces.
 #pragma once
 
-#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sttsim/cpu/system.hpp"
+#include "sttsim/exec/memo_cache.hpp"
 #include "sttsim/sim/stats.hpp"
 #include "sttsim/tech/energy.hpp"
 #include "sttsim/workloads/suite.hpp"
@@ -25,22 +27,68 @@ double gain_pct(const sim::RunStats& unoptimized,
                 const sim::RunStats& optimized);
 
 /// Memoizes generated traces per (kernel, codegen) so multi-figure bench
-/// binaries do not regenerate identical traces.
+/// binaries do not regenerate identical traces. Concurrency-safe: a
+/// shared_mutex guards the index and a per-key once-latch guarantees each
+/// trace is generated exactly once even when many parallel jobs request it
+/// simultaneously. Cache hits allocate nothing (heterogeneous lookup by
+/// kernel-name view + codegen fields; no key string is built).
 class TraceCache {
  public:
   const cpu::Trace& get(const workloads::Kernel& kernel,
                         const workloads::CodegenOptions& opts);
 
-  std::size_t entries() const { return cache_.size(); }
+  std::size_t entries() const { return cache_.entries(); }
 
  private:
-  std::map<std::string, cpu::Trace> cache_;
+  struct Key {
+    std::string kernel;
+    workloads::CodegenOptions opts;
+  };
+  struct KeyView {
+    std::string_view kernel;
+    const workloads::CodegenOptions* opts;
+  };
+  struct KeyLess {
+    using is_transparent = void;
+    static KeyView view(const Key& k) { return {k.kernel, &k.opts}; }
+    static KeyView view(const KeyView& v) { return v; }
+    static bool less(const KeyView& a, const KeyView& b);
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      return less(view(a), view(b));
+    }
+  };
+
+  exec::ConcurrentMemoCache<Key, cpu::Trace, KeyLess> cache_;
 };
 
 /// Runs one kernel on one system configuration with the given codegen.
 sim::RunStats run_kernel(TraceCache& cache, const workloads::Kernel& kernel,
                          const cpu::SystemConfig& config,
                          const workloads::CodegenOptions& opts);
+
+/// One grid point of an experiment: a full system configuration plus the
+/// codegen options the kernels are compiled with.
+struct SuiteJob {
+  cpu::SystemConfig config;
+  workloads::CodegenOptions opts;
+};
+
+/// Runs every kernel under every job of the grid, fanning the
+/// (job x kernel) points across a worker pool sized by the process-wide
+/// default (exec::default_jobs(); the benches' --jobs flag). Each config
+/// is validated once up front and shared read-only by its jobs. Results
+/// come back in deterministic input order — result[j][k] is jobs[j] on
+/// kernels[k] — byte-identical to the historical serial loops.
+std::vector<std::vector<sim::RunStats>> run_grid(
+    TraceCache& cache, const std::vector<workloads::Kernel>& kernels,
+    const std::vector<SuiteJob>& jobs);
+
+/// Runs every selected kernel on one configuration (a one-job grid);
+/// stats in suite order.
+std::vector<sim::RunStats> run_suite(
+    TraceCache& cache, const std::vector<workloads::Kernel>& kernels,
+    const cpu::SystemConfig& config, const workloads::CodegenOptions& opts);
 
 /// Convenience: a SystemConfig for an organization with paper defaults.
 cpu::SystemConfig make_config(cpu::Dl1Organization org);

@@ -13,11 +13,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <optional>
 #include <string>
 
 #include "sttsim/cpu/system.hpp"
 #include "sttsim/cpu/trace_io.hpp"
+#include "sttsim/exec/parallel_executor.hpp"
 #include "sttsim/experiments/harness.hpp"
 #include "sttsim/util/check.hpp"
 #include "sttsim/util/text.hpp"
@@ -48,7 +50,7 @@ struct CliOptions {
       "nvm-writebuf]\n"
       "          [--opts=vec,pf,br] [--vwb-kbit=N] [--vwb-lines=N]\n"
       "          [--banks=N] [--clock-ghz=F] [--trace-out=FILE]\n"
-      "          [--baseline-penalty] [--csv|--json]\n",
+      "          [--baseline-penalty] [--jobs=N] [--csv|--json]\n",
       argv0);
   std::exit(2);
 }
@@ -129,6 +131,8 @@ CliOptions parse_args(int argc, char** argv) {
       o.system.nvm_banks = static_cast<unsigned>(std::stoul(val));
     } else if (take("--clock-ghz=")) {
       o.system.clock_ghz = std::stod(val);
+    } else if (take("--jobs=")) {
+      exec::set_default_jobs(static_cast<unsigned>(std::stoul(val)));
     } else {
       usage(argv[0]);
     }
@@ -181,6 +185,21 @@ int run(const CliOptions& o) {
 
   cpu::SystemConfig cfg = o.system;
   cfg.organization = o.org;
+  const bool with_baseline = o.baseline_penalty && !o.json &&
+                             o.org != cpu::Dl1Organization::kSramBaseline;
+
+  // With --baseline-penalty the variant and the SRAM reference run as two
+  // jobs on the experiment engine's pool (a no-op at --jobs=1).
+  cpu::SystemConfig base_cfg = o.system;
+  base_cfg.organization = cpu::Dl1Organization::kSramBaseline;
+  exec::ParallelExecutor pool;
+  std::future<sim::RunStats> baseline_run;
+  if (with_baseline) {
+    baseline_run = pool.submit([&] {
+      cpu::System baseline(base_cfg);
+      return baseline.run(trace);
+    });
+  }
   cpu::System system(cfg);
   const sim::RunStats stats = system.run(trace);
   if (o.json) {
@@ -195,11 +214,8 @@ int run(const CliOptions& o) {
   }
   print_stats(stats, o.csv);
 
-  if (o.baseline_penalty && o.org != cpu::Dl1Organization::kSramBaseline) {
-    cpu::SystemConfig base_cfg = o.system;
-    base_cfg.organization = cpu::Dl1Organization::kSramBaseline;
-    cpu::System baseline(base_cfg);
-    const sim::RunStats base = baseline.run(trace);
+  if (with_baseline) {
+    const sim::RunStats base = baseline_run.get();
     std::printf("penalty vs same-code SRAM baseline: %+.2f%%\n",
                 experiments::penalty_pct(stats, base));
   }
