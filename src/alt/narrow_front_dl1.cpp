@@ -40,6 +40,9 @@ NarrowFrontDl1System::NarrowFrontDl1System(std::string name,
 void NarrowFrontDl1System::retire_l1_victim(const mem::FillOutcome& victim,
                                             sim::Cycle now) {
   if (!victim.victim_valid) return;
+  // The victim's frame is gone: a still-in-flight fill entry for it must not
+  // keep merging later stores into the evicted frame (they would be lost).
+  mshr_.release(victim.victim_addr);
   // Invalidate every front entry covered by the outgoing DL1 line, folding
   // front dirtiness into the victim.
   bool front_dirty = false;

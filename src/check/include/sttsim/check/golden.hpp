@@ -1,0 +1,50 @@
+// Golden-regression harness: canonical text serialization of figure data and
+// a field-by-field comparator, so every paper artifact the repo reproduces is
+// pinned to a checked-in reference. A drifting counter anywhere in the model
+// shows up as a named (figure, series, row) difference, not a silent shift.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sttsim/report/figure.hpp"
+
+namespace sttsim::check {
+
+/// Canonical, diff-friendly text form of a figure (stable field order,
+/// 9-significant-digit values). This is what golden files contain.
+std::string serialize_figure(const report::FigureData& fig);
+
+/// Inverse of serialize_figure. Throws std::runtime_error on malformed text.
+report::FigureData parse_figure(const std::string& text);
+
+/// One field-level difference between a figure and its golden reference.
+struct FieldDiff {
+  std::string figure;    ///< figure title (from the golden side if present)
+  std::string location;  ///< e.g. "series 'Drop-In' row 'gemm'"
+  std::string expected;  ///< golden value
+  std::string observed;  ///< freshly computed value
+};
+
+struct GoldenComparison {
+  bool missing = false;  ///< golden file absent (run with update to create)
+  std::vector<FieldDiff> diffs;
+  bool matches() const { return !missing && diffs.empty(); }
+  /// Multi-line summary of every difference (empty when matching).
+  std::string to_string() const;
+};
+
+/// Field-by-field comparison of `fig` against the reference in `text`
+/// (numeric values compared with a 1e-6 absolute tolerance).
+GoldenComparison compare_figures(const report::FigureData& golden,
+                                 const report::FigureData& fig);
+
+/// Compares `fig` against the golden file at `path`; `missing` is set when
+/// the file does not exist.
+GoldenComparison compare_against_golden(const std::string& path,
+                                        const report::FigureData& fig);
+
+/// Writes/overwrites the golden file at `path` (creating directories).
+void update_golden(const std::string& path, const report::FigureData& fig);
+
+}  // namespace sttsim::check

@@ -1,0 +1,90 @@
+// Reference oracle: an independently written, deliberately simple functional
+// model of every DL1 organization in the study.
+//
+// The production simulator (src/core, src/alt, src/mem) is optimized for
+// throughput: intrusive LRU stamps, flat way arrays, busy-until timelines
+// threaded through hot paths. A silent state-machine bug there would skew
+// every reproduced figure while keeping the accounting identities of
+// tests/test_fuzz.cpp intact. This oracle re-derives the same semantics from
+// DESIGN.md using plain maps and obvious code, and additionally carries the
+// *data contents* of every level (flat memory, L2, DL1 array, VWB / front
+// sectors, MSHR fill registers) so that a load can be checked against the
+// architecturally last-stored value — the class of coherence bug that op
+// counters cannot see.
+//
+// The differential driver (check/differential.hpp) runs a cpu::System and a
+// ReferenceDl1 in lockstep over the same trace and requires, after every
+// single op, bit-equality of the returned completion cycle and of all
+// sim::MemStats counters, plus an empty shadow-violation log.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sttsim/cpu/system.hpp"
+#include "sttsim/sim/cycle.hpp"
+#include "sttsim/sim/stats.hpp"
+#include "sttsim/util/bits.hpp"
+
+namespace sttsim::check {
+
+/// Deliberately injectable oracle bugs. The differential test suite proves
+/// the checker's sensitivity by flipping one of these and demanding that the
+/// campaign (a) diverges and (b) minimizes to a tiny reproducer. A fault
+/// makes the *oracle* wrong, which is indistinguishable, from the driver's
+/// point of view, from the simulator being wrong.
+struct OracleFaults {
+  /// Skip invalidating the VWB / front sector when the DL1 evicts the
+  /// underlying line — the classic stale-buffer inclusion bug.
+  bool drop_front_invalidate_on_l1_evict = false;
+  /// Skip dropping the MSHR fill-register copy when a store bypasses it —
+  /// a later promotion serves pre-store (stale) data.
+  bool skip_fill_register_invalidate_on_store = false;
+};
+
+/// One data-content shadow violation: a load observed a byte that differs
+/// from the architecturally last-stored value.
+struct ShadowViolation {
+  Addr addr = 0;
+  std::uint8_t expected = 0;  ///< architecturally correct byte
+  std::uint8_t observed = 0;  ///< byte the modeled hierarchy served
+  std::string level;          ///< serving level ("vwb", "dl1", "front", ...)
+};
+
+/// The oracle's view of one L1 data-memory organization: same call surface
+/// as core::Dl1System (plus the store payload), same predicted cycles and
+/// counters, independent implementation.
+class ReferenceDl1 {
+ public:
+  virtual ~ReferenceDl1() = default;
+
+  virtual sim::Cycle load(Addr addr, unsigned size, sim::Cycle now) = 0;
+  virtual sim::Cycle store(Addr addr, unsigned size, std::uint64_t value,
+                           sim::Cycle now) = 0;
+  virtual void prefetch(Addr addr, sim::Cycle now) = 0;
+
+  const sim::MemStats& stats() const { return stats_; }
+
+  /// Data-content shadow violations observed so far (capped; the first
+  /// violation is the interesting one).
+  const std::vector<ShadowViolation>& shadow_violations() const {
+    return shadow_violations_;
+  }
+
+ protected:
+  ReferenceDl1() = default;
+
+  sim::MemStats stats_;
+  std::vector<ShadowViolation> shadow_violations_;
+};
+
+/// Builds the reference model matching what cpu::System would build for
+/// `config` (including the degenerate-VWB fallback to the narrow-front
+/// organization). Throws ConfigError on invalid configurations, like the
+/// real system.
+std::unique_ptr<ReferenceDl1> make_reference_dl1(
+    const cpu::SystemConfig& config, const OracleFaults& faults = {});
+
+}  // namespace sttsim::check

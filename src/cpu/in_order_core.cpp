@@ -5,9 +5,16 @@
 namespace sttsim::cpu {
 
 sim::RunStats InOrderCore::run(const Trace& trace, core::Dl1System& dl1) {
+  return run(trace, dl1, OpObserver{});
+}
+
+sim::RunStats InOrderCore::run(const Trace& trace, core::Dl1System& dl1,
+                               const OpObserver& observer) {
   sim::CoreStats core;
   sim::Cycle now = 0;
-  for (const TraceOp& op : trace) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceOp& op = trace[i];
+    const sim::Cycle issue = now;
     switch (op.kind) {
       case OpKind::kExec: {
         now += op.count;
@@ -45,6 +52,7 @@ sim::RunStats InOrderCore::run(const Trace& trace, core::Dl1System& dl1) {
         break;
       }
     }
+    if (observer) observer(OpEvent{i, &op, issue, now});
   }
   core.total_cycles = now;
   sim::RunStats out;

@@ -11,11 +11,27 @@
 // read-vs-write decomposition is measured rather than estimated.
 #pragma once
 
+#include <functional>
+
 #include "sttsim/core/dl1_system.hpp"
 #include "sttsim/cpu/trace.hpp"
 #include "sttsim/sim/stats.hpp"
 
 namespace sttsim::cpu {
+
+/// One retired trace op, as observed by a replay hook: its position, the
+/// cycle it issued at and the cycle the core could proceed past it.
+struct OpEvent {
+  std::size_t index = 0;
+  const TraceOp* op = nullptr;
+  sim::Cycle issue = 0;     ///< core time when the op issued
+  sim::Cycle complete = 0;  ///< core time after the op retired
+};
+
+/// Replay hook: called after every retired op. Used by the differential
+/// oracle (src/check) to follow a run in lockstep; null costs one
+/// predictable branch per op.
+using OpObserver = std::function<void(const OpEvent&)>;
 
 class InOrderCore {
  public:
@@ -23,6 +39,10 @@ class InOrderCore {
   /// returns the merged run statistics. The DL1 is NOT reset first — callers
   /// compose warm-up + measured phases if they need to.
   sim::RunStats run(const Trace& trace, core::Dl1System& dl1);
+
+  /// Same, invoking `observer` after each op (when non-null).
+  sim::RunStats run(const Trace& trace, core::Dl1System& dl1,
+                    const OpObserver& observer);
 };
 
 }  // namespace sttsim::cpu

@@ -27,6 +27,9 @@ struct TraceOp {
   std::uint8_t size = 0;     ///< access width in bytes (loads/stores)
   std::uint32_t count = 1;   ///< instruction count (exec bundles)
   Addr addr = 0;
+  std::uint64_t value = 0;   ///< store payload (repeated byte-wise over
+                             ///< `size`); ignored by the timing model, used
+                             ///< by the check:: data-content shadow
 
   bool is_memory() const {
     return kind == OpKind::kLoad || kind == OpKind::kStore;
@@ -39,8 +42,14 @@ using Trace = std::vector<TraceOp>;
 /// Constructors for readability at call sites.
 TraceOp make_exec(std::uint32_t count);
 TraceOp make_load(Addr addr, unsigned size);
-TraceOp make_store(Addr addr, unsigned size);
+TraceOp make_store(Addr addr, unsigned size, std::uint64_t value = 0);
 TraceOp make_prefetch(Addr addr);
+
+/// Gives every store a nonzero deterministic payload derived from `seed` and
+/// its position, so the data-content shadow check distinguishes stale data
+/// from never-written data on traces whose generator did not assign values
+/// (kernel generators emit value = 0).
+void assign_store_values(Trace& trace, std::uint64_t seed);
 
 /// Aggregate shape of a trace (used for tests and trace-level reports).
 struct TraceSummary {

@@ -6,9 +6,12 @@
 //
 // Format (little-endian):
 //   magic   u64  'STTTRACE'
-//   version u32  (currently 1)
+//   version u32  (currently 2)
 //   count   u64  number of ops
-//   ops     count x { kind u8, size u8, pad u16, count u32, addr u64 }
+//   ops     count x { kind u8, size u8, pad u16, count u32, addr u64,
+//                     value u64 }
+// Version 1 ops lack the trailing `value` (store payload) word; readers
+// accept both versions and default missing payloads to 0.
 #pragma once
 
 #include <iosfwd>

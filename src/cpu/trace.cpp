@@ -22,12 +22,13 @@ TraceOp make_load(Addr addr, unsigned size) {
   return op;
 }
 
-TraceOp make_store(Addr addr, unsigned size) {
+TraceOp make_store(Addr addr, unsigned size, std::uint64_t value) {
   STTSIM_CHECK(size > 0 && size <= 255);
   TraceOp op;
   op.kind = OpKind::kStore;
   op.addr = addr;
   op.size = static_cast<std::uint8_t>(size);
+  op.value = value;
   return op;
 }
 
@@ -36,6 +37,19 @@ TraceOp make_prefetch(Addr addr) {
   op.kind = OpKind::kPrefetch;
   op.addr = addr;
   return op;
+}
+
+void assign_store_values(Trace& trace, std::uint64_t seed) {
+  std::uint64_t n = 0;
+  for (TraceOp& op : trace) {
+    if (op.kind != OpKind::kStore) continue;
+    // splitmix64 of (seed, ordinal): nonzero with overwhelming probability,
+    // distinct per store, stable across runs and platforms.
+    std::uint64_t z = seed + (++n) * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    op.value = (z ^ (z >> 31)) | 1;
+  }
 }
 
 TraceSummary summarize(const Trace& trace) {

@@ -11,7 +11,8 @@ namespace sttsim::cpu {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4543415254545453ULL;  // "STTTRACE"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionNoValue = 1;  ///< ops without store payloads
+constexpr std::uint32_t kVersion = 2;
 
 struct PackedOp {
   std::uint8_t kind;
@@ -21,6 +22,12 @@ struct PackedOp {
   std::uint64_t addr;
 };
 static_assert(sizeof(PackedOp) == 16);
+
+struct PackedOpV2 {
+  PackedOp base;
+  std::uint64_t value;
+};
+static_assert(sizeof(PackedOpV2) == 24);
 
 template <typename T>
 void put(std::ostream& out, const T& v) {
@@ -42,11 +49,12 @@ void write_trace(std::ostream& out, const Trace& trace) {
   put(out, kVersion);
   put(out, static_cast<std::uint64_t>(trace.size()));
   for (const TraceOp& op : trace) {
-    PackedOp p{};
-    p.kind = static_cast<std::uint8_t>(op.kind);
-    p.size = op.size;
-    p.count = op.count;
-    p.addr = op.addr;
+    PackedOpV2 p{};
+    p.base.kind = static_cast<std::uint8_t>(op.kind);
+    p.base.size = op.size;
+    p.base.count = op.count;
+    p.base.addr = op.addr;
+    p.value = op.value;
     put(out, p);
   }
   if (!out) throw TraceIoError("trace write failed");
@@ -63,7 +71,7 @@ Trace read_trace(std::istream& in) {
     throw TraceIoError("bad magic: not an sttsim trace");
   }
   const auto version = get<std::uint32_t>(in);
-  if (version != kVersion) {
+  if (version != kVersionNoValue && version != kVersion) {
     throw TraceIoError(strprintf("unsupported trace version %u", version));
   }
   const auto count = get<std::uint64_t>(in);
@@ -71,6 +79,9 @@ Trace read_trace(std::istream& in) {
   trace.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto p = get<PackedOp>(in);
+    // Version 1 traces predate store payloads; their value field reads as 0.
+    const std::uint64_t value =
+        version >= kVersion ? get<std::uint64_t>(in) : 0;
     if (p.kind > static_cast<std::uint8_t>(OpKind::kPrefetch)) {
       throw TraceIoError(strprintf("bad op kind %u at index %llu", p.kind,
                                    static_cast<unsigned long long>(i)));
@@ -80,6 +91,7 @@ Trace read_trace(std::istream& in) {
     op.size = p.size;
     op.count = p.count;
     op.addr = p.addr;
+    op.value = value;
     if (op.is_memory() && op.size == 0) {
       throw TraceIoError("memory op with zero size");
     }

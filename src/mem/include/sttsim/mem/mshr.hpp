@@ -32,6 +32,12 @@ class Mshr {
   /// Precondition: lookup(line, now) == 0.
   sim::Cycle allocate(Addr line, sim::Cycle now, sim::Cycle done);
 
+  /// Clears the entry tracking `line`, if any. Called when the cache frame
+  /// the fill targeted is evicted: the stale entry must not keep answering
+  /// lookups (a store merging into an evicted frame would be lost), so later
+  /// accesses refetch instead.
+  void release(Addr line);
+
   /// Entries still outstanding at `now`.
   unsigned occupancy(sim::Cycle now) const;
 

@@ -39,6 +39,12 @@ sim::Cycle Mshr::allocate(Addr line, sim::Cycle now, sim::Cycle done) {
   return earliest->done;
 }
 
+void Mshr::release(Addr line) {
+  for (Slot& s : slots_) {
+    if (s.line == line) s.done = 0;
+  }
+}
+
 unsigned Mshr::occupancy(sim::Cycle now) const {
   return static_cast<unsigned>(
       std::count_if(slots_.begin(), slots_.end(),

@@ -7,34 +7,13 @@
 #include "sttsim/core/vwb_dl1.hpp"
 #include "sttsim/cpu/system.hpp"
 #include "sttsim/tech/technology.hpp"
-#include "sttsim/util/rng.hpp"
+#include "trace_util.hpp"
 
 namespace sttsim {
 namespace {
 
 using cpu::Dl1Organization;
-
-cpu::Trace random_trace(std::uint64_t seed, std::size_t ops,
-                        Addr region_bytes) {
-  Rng rng(seed);
-  cpu::Trace t;
-  t.reserve(ops);
-  for (std::size_t i = 0; i < ops; ++i) {
-    const std::uint64_t dice = rng.next_below(100);
-    const Addr addr = align_down(rng.next_below(region_bytes), 8) + 0x10000;
-    if (dice < 50) {
-      t.push_back(cpu::make_load(addr, dice < 10 ? 32 : 8));
-    } else if (dice < 75) {
-      t.push_back(cpu::make_store(addr, 8));
-    } else if (dice < 85) {
-      t.push_back(cpu::make_prefetch(addr));
-    } else {
-      t.push_back(
-          cpu::make_exec(1 + static_cast<std::uint32_t>(rng.next_below(6))));
-    }
-  }
-  return t;
-}
+using testutil::random_trace;
 
 constexpr Dl1Organization kAllOrgs[] = {
     Dl1Organization::kSramBaseline, Dl1Organization::kNvmDropIn,

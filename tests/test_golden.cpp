@@ -1,0 +1,144 @@
+// Golden-regression harness: every figure function is pinned, field by
+// field, to a canonical reference under tests/golden/. Any drift in the
+// timing model, the workload generators, or the report layer shows up as a
+// named (figure, series, row) difference. Refresh after an intentional
+// change with STTSIM_UPDATE_GOLDEN=1 (or sttsim_cli --update-golden).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "sttsim/check/golden.hpp"
+#include "sttsim/experiments/figures.hpp"
+
+namespace sttsim {
+namespace {
+
+using experiments::KernelFilter;
+
+/// The fast kernel subset used across the integration tests: small enough
+/// to run every figure in seconds, large enough to exercise every system.
+const KernelFilter kSubset = {"trisolv", "gesummv"};
+
+struct GoldenCase {
+  const char* name;  ///< golden file stem under tests/golden/
+  report::FigureData (*fn)(const KernelFilter&);
+};
+
+constexpr GoldenCase kCases[] = {
+    {"fig1_dropin_penalty", &experiments::fig1_dropin_penalty},
+    {"fig3_vwb_penalty", &experiments::fig3_vwb_penalty},
+    {"fig4_rw_breakdown", &experiments::fig4_rw_breakdown},
+    {"fig5_transformations", &experiments::fig5_transformations},
+    {"fig6_contributions", &experiments::fig6_contributions},
+    {"fig7_vwb_size", &experiments::fig7_vwb_size},
+    {"fig7_vwb_size_optimized", &experiments::fig7_vwb_size_optimized},
+    {"fig8_alternatives", &experiments::fig8_alternatives},
+    {"fig9_baseline_gain", &experiments::fig9_baseline_gain},
+    {"ablation_banking", &experiments::ablation_banking},
+    {"ablation_store_buffer", &experiments::ablation_store_buffer},
+    {"ablation_write_mitigation", &experiments::ablation_write_mitigation},
+    {"energy_report", &experiments::energy_report},
+    {"exploration_iso_area", &experiments::exploration_iso_area},
+    {"sensitivity_clock", &experiments::sensitivity_clock},
+    {"sensitivity_cell", &experiments::sensitivity_cell},
+};
+
+bool update_requested() {
+  const char* env = std::getenv("STTSIM_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string golden_path(const char* name) {
+  return std::string(STTSIM_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+class GoldenFigures : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenFigures, MatchesCheckedInReference) {
+  const GoldenCase& c = GetParam();
+  const report::FigureData fig = c.fn(kSubset);
+  const std::string path = golden_path(c.name);
+  if (update_requested()) {
+    check::update_golden(path, fig);
+    GTEST_SKIP() << "golden refreshed: " << path;
+  }
+  const check::GoldenComparison cmp = check::compare_against_golden(path, fig);
+  ASSERT_FALSE(cmp.missing)
+      << path << " missing; create it with STTSIM_UPDATE_GOLDEN=1";
+  EXPECT_TRUE(cmp.matches()) << cmp.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFigures, GoldenFigures, ::testing::ValuesIn(kCases),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param.name);
+                         });
+
+TEST(GoldenFormat, SerializeParseRoundTrip) {
+  report::FigureData fig;
+  fig.title = "Fig. T: a title with: colons";
+  fig.row_header = "Kernel";
+  fig.value_unit = "penalty %";
+  fig.row_labels = {"trisolv", "gesummv"};
+  fig.series = {{"Drop-In", {54.25, 31.0}}, {"VWB", {12.5, -0.25}}};
+  const report::FigureData back =
+      check::parse_figure(check::serialize_figure(fig));
+  EXPECT_TRUE(check::compare_figures(fig, back).matches());
+  EXPECT_EQ(back.title, fig.title);
+  EXPECT_EQ(back.row_labels, fig.row_labels);
+  EXPECT_EQ(back.series[1].values[1], fig.series[1].values[1]);
+}
+
+TEST(GoldenFormat, PerturbedFieldIsNamedExactly) {
+  // The satellite check: flip one stat in-memory and the comparator must
+  // name the exact figure, series and row — not just "something differs".
+  report::FigureData golden;
+  golden.title = "Fig. 3: VWB penalty";
+  golden.row_header = "Kernel";
+  golden.value_unit = "penalty %";
+  golden.row_labels = {"trisolv", "gesummv"};
+  golden.series = {{"Drop-In", {54.0, 31.0}}, {"VWB", {12.0, 8.0}}};
+
+  report::FigureData observed = golden;
+  observed.series[1].values[0] += 0.5;  // perturb VWB @ trisolv
+
+  const check::GoldenComparison cmp = check::compare_figures(golden, observed);
+  ASSERT_EQ(cmp.diffs.size(), 1u);
+  EXPECT_EQ(cmp.diffs[0].figure, "Fig. 3: VWB penalty");
+  EXPECT_EQ(cmp.diffs[0].location, "series 'VWB' row 'trisolv'");
+  EXPECT_EQ(cmp.diffs[0].expected, "12");
+  EXPECT_EQ(cmp.diffs[0].observed, "12.5");
+  EXPECT_NE(cmp.to_string().find("series 'VWB' row 'trisolv'"),
+            std::string::npos);
+}
+
+TEST(GoldenFormat, ToleranceAbsorbsPlatformNoise) {
+  report::FigureData a;
+  a.title = "t";
+  a.series = {{"s", {1.0}}};
+  report::FigureData b = a;
+  b.series[0].values[0] += 5e-7;  // below the 1e-6 tolerance
+  EXPECT_TRUE(check::compare_figures(a, b).matches());
+  b.series[0].values[0] += 1e-5;  // above it
+  EXPECT_FALSE(check::compare_figures(a, b).matches());
+}
+
+TEST(GoldenFormat, MalformedTextThrows) {
+  EXPECT_THROW(check::parse_figure("garbage without a key"),
+               std::runtime_error);
+  EXPECT_THROW(check::parse_figure("value 3 0: 1.0\n"), std::runtime_error);
+  EXPECT_THROW(check::parse_figure("unknown_key: x\n"), std::runtime_error);
+}
+
+TEST(GoldenFormat, MissingFileReported) {
+  report::FigureData fig;
+  fig.title = "t";
+  const check::GoldenComparison cmp = check::compare_against_golden(
+      std::string(STTSIM_GOLDEN_DIR) + "/does_not_exist.golden", fig);
+  EXPECT_TRUE(cmp.missing);
+  EXPECT_FALSE(cmp.matches());
+  EXPECT_NE(cmp.to_string().find("missing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sttsim

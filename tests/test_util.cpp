@@ -1,9 +1,10 @@
-// Unit tests: src/util (bit helpers, RNG, text formatting).
+// Unit tests: src/util (bit helpers, RNG, text formatting, checks).
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "sttsim/util/bits.hpp"
+#include "sttsim/util/check.hpp"
 #include "sttsim/util/rng.hpp"
 #include "sttsim/util/text.hpp"
 
@@ -123,6 +124,43 @@ TEST(Text, Join) {
   EXPECT_EQ(join({}, ","), "");
   EXPECT_EQ(join({"a"}, ","), "a");
   EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Check, PassingCheckIsSilent) {
+  STTSIM_CHECK(1 + 1 == 2);  // must not abort and must evaluate once
+  int calls = 0;
+  const auto bump = [&] { return ++calls; };
+  STTSIM_CHECK(bump() == 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithExpressionAndLocation) {
+  EXPECT_DEATH(STTSIM_CHECK(2 + 2 == 5),
+               "sttsim: check failed: 2 \\+ 2 == 5 at .*test_util\\.cpp");
+}
+
+TEST(CheckDeathTest, SideEffectsVisibleInFailureMessage) {
+  // The stringified expression is the one the caller wrote, not a digest.
+  const int banks = 0;
+  EXPECT_DEATH(STTSIM_CHECK(banks > 0), "banks > 0");
+}
+
+TEST(Check, ConfigErrorCarriesMessage) {
+  const auto thrower = [] {
+    throw ConfigError("dl1 size 3000 is not a power of two");
+  };
+  EXPECT_THROW(
+      {
+        try {
+          thrower();
+        } catch (const ConfigError& e) {
+          EXPECT_STREQ(e.what(), "dl1 size 3000 is not a power of two");
+          // ConfigError must stay catchable as std::runtime_error: callers
+          // (CLI, tests) rely on the generic handler printing e.what().
+          throw;
+        }
+      },
+      std::runtime_error);
 }
 
 TEST(Text, Pad) {

@@ -7,6 +7,7 @@
 //   sttsim --kernel=atax --org=sram-baseline --baseline-penalty
 //   sttsim --trace-in=foo.trc --org=nvm-drop-in
 //   sttsim --kernel=mvt --trace-out=mvt.trc      (capture, no simulation)
+//   sttsim --trace-in=repro.trace --org=nvm-vwb --check-oracle
 //   sttsim --list
 //
 // Options: --vwb-kbit=N --vwb-lines=N --banks=N --clock-ghz=F --csv
@@ -17,6 +18,7 @@
 #include <optional>
 #include <string>
 
+#include "sttsim/check/differential.hpp"
 #include "sttsim/cpu/system.hpp"
 #include "sttsim/cpu/trace_io.hpp"
 #include "sttsim/exec/parallel_executor.hpp"
@@ -40,6 +42,8 @@ struct CliOptions {
   bool csv = false;
   bool json = false;
   bool baseline_penalty = false;  ///< also run the SRAM baseline and report %
+  bool check_oracle = false;  ///< run the differential oracle instead of
+                              ///< just simulating; nonzero exit on divergence
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -50,7 +54,8 @@ struct CliOptions {
       "nvm-writebuf]\n"
       "          [--opts=vec,pf,br] [--vwb-kbit=N] [--vwb-lines=N]\n"
       "          [--banks=N] [--clock-ghz=F] [--trace-out=FILE]\n"
-      "          [--baseline-penalty] [--jobs=N] [--csv|--json]\n",
+      "          [--baseline-penalty] [--check-oracle] [--jobs=N]\n"
+      "          [--csv|--json]\n",
       argv0);
   std::exit(2);
 }
@@ -111,6 +116,8 @@ CliOptions parse_args(int argc, char** argv) {
       o.json = true;
     } else if (arg == "--baseline-penalty") {
       o.baseline_penalty = true;
+    } else if (arg == "--check-oracle") {
+      o.check_oracle = true;
     } else if (take("--kernel=")) {
       o.kernel = val;
     } else if (take("--trace-in=")) {
@@ -185,6 +192,27 @@ int run(const CliOptions& o) {
 
   cpu::SystemConfig cfg = o.system;
   cfg.organization = o.org;
+
+  if (o.check_oracle) {
+    // Kernel generators emit zero store payloads; give them deterministic
+    // values so the data-content shadow distinguishes stale bytes.
+    if (!o.kernel.empty()) cpu::assign_store_values(trace, 0x5eed);
+    const check::Divergence div = check::run_differential(cfg, trace);
+    if (!div.diverged) {
+      std::printf("oracle agreement: %zu ops, no divergence (%s)\n",
+                  trace.size(), cpu::to_string(o.org));
+      return 0;
+    }
+    std::fprintf(stderr, "DIVERGENCE: %s\nminimizing...\n",
+                 div.detail.c_str());
+    const check::MinimizeResult min = check::minimize_trace(cfg, trace);
+    const std::string path =
+        check::write_reproducer("repro", "divergence", cfg, min);
+    std::fprintf(stderr, "minimal reproducer: %zu ops (%u probes) -> %s\n",
+                 min.trace.size(), min.probes, path.c_str());
+    return 1;
+  }
+
   const bool with_baseline = o.baseline_penalty && !o.json &&
                              o.org != cpu::Dl1Organization::kSramBaseline;
 
