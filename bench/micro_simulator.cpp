@@ -48,11 +48,12 @@ void BM_SimulateKernel(benchmark::State& state) {
   const auto org = static_cast<cpu::Dl1Organization>(state.range(0));
   const auto trace =
       workloads::gemm(32, 32, 32, workloads::CodegenOptions::none());
+  const cpu::DecodedTrace decoded = cpu::decode(trace);
   cpu::SystemConfig cfg;
   cfg.organization = org;
   cpu::System system(cfg);
   for (auto _ : state) {
-    const auto stats = system.run(trace);
+    const auto stats = system.run(decoded);
     benchmark::DoNotOptimize(stats.core.total_cycles);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -65,6 +66,27 @@ BENCHMARK(BM_SimulateKernel)
     ->Arg(static_cast<int>(cpu::Dl1Organization::kNvmL0))
     ->Arg(static_cast<int>(cpu::Dl1Organization::kNvmEmshr))
     ->Arg(static_cast<int>(cpu::Dl1Organization::kNvmWriteBuf));
+
+// The same replay through InOrderCore's generic virtual-dispatch loop — the
+// devirtualized fast path's reference. The ratio of the two benchmarks is
+// the hot-path overhaul's speedup.
+void BM_SimulateKernelReference(benchmark::State& state) {
+  const auto org = static_cast<cpu::Dl1Organization>(state.range(0));
+  const auto trace =
+      workloads::gemm(32, 32, 32, workloads::CodegenOptions::none());
+  cpu::SystemConfig cfg;
+  cfg.organization = org;
+  cpu::System system(cfg);
+  for (auto _ : state) {
+    const auto stats = system.run_reference(trace);
+    benchmark::DoNotOptimize(stats.core.total_cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_SimulateKernelReference)
+    ->Arg(static_cast<int>(cpu::Dl1Organization::kSramBaseline))
+    ->Arg(static_cast<int>(cpu::Dl1Organization::kNvmVwb));
 
 void BM_VwbLookup(benchmark::State& state) {
   core::VeryWideBuffer vwb(core::VwbGeometry{2, 128, 64});

@@ -1,27 +1,33 @@
-// Throughput telemetry for the parallel experiment engine: regenerates a
-// set of paper figures serially (--jobs=1) and on the full worker pool,
-// checks the outputs are byte-identical, and writes wall-clock,
-// simulations/sec and trace-ops-replayed/sec per figure to BENCH_perf.json
-// — the repo's performance trajectory file.
+// Throughput telemetry for the simulator: times (a) a set of paper figures
+// regenerated serially (--jobs=1) and on the full worker pool, checking the
+// outputs are byte-identical, and (b) the single-thread replay
+// microbenchmark — every DL1 organization replaying one decoded gemm trace
+// through the devirtualized fast path and through the generic virtual-
+// dispatch reference loop. Results go to BENCH_perf.json at the repo root —
+// the repo's performance trajectory file, diffed by tools/perf_compare.
 //
 // Usage: perf_smoke [--jobs=N] [--kernels=a,b,c] [--out=FILE] [--quick]
 //   --jobs=N     pool width for the parallel pass (default: hardware)
 //   --kernels    kernel subset (default: the full suite)
-//   --quick      time fig1 only (CI-friendly)
-//   --out=FILE   output path (default: BENCH_perf.json)
+//   --quick      time fig1 only and shorten the replay bench (CI-friendly)
+//   --out=FILE   output path (default: BENCH_perf.json at the repo root)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <vector>
 
+#include "sttsim/cpu/system.hpp"
 #include "sttsim/exec/parallel_executor.hpp"
 #include "sttsim/exec/telemetry.hpp"
 #include "sttsim/experiments/figures.hpp"
 #include "sttsim/report/figure.hpp"
+#include "sttsim/sim/stats.hpp"
 #include "sttsim/util/text.hpp"
+#include "sttsim/workloads/kernels.hpp"
 
 namespace {
 
@@ -58,6 +64,50 @@ double per_sec(std::uint64_t count, double wall_ms) {
   return wall_ms <= 0.0 ? 0.0 : static_cast<double>(count) / (wall_ms / 1e3);
 }
 
+// ---- Replay microbenchmark -------------------------------------------
+// One decoded gemm trace, replayed back-to-back on a fresh system per run:
+// the same inner loop the experiment grid spends its time in, minus trace
+// generation, so the number isolates the per-access hot path.
+
+struct ReplayResult {
+  const char* org = "";
+  double fast_ops_per_sec = 0.0;
+  double ref_ops_per_sec = 0.0;
+  bool identical_stats = false;
+};
+
+double time_replays(const std::function<void()>& run, unsigned reps) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned i = 0; i < reps; ++i) run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+ReplayResult bench_replay(cpu::Dl1Organization org, const cpu::Trace& trace,
+                          const cpu::DecodedTrace& decoded, unsigned fast_reps,
+                          unsigned ref_reps) {
+  cpu::SystemConfig cfg;
+  cfg.organization = org;
+  cpu::System system(cfg);
+
+  ReplayResult r;
+  r.org = cpu::to_string(org);
+  // Field-for-field equality of the two loops (the flat JSON dump covers
+  // every core and memory counter).
+  const sim::RunStats fast = system.run(decoded);
+  const sim::RunStats ref = system.run_reference(trace);
+  r.identical_stats = sim::to_json(fast) == sim::to_json(ref);
+
+  const double ops = static_cast<double>(decoded.size());
+  const double fast_s =
+      time_replays([&] { system.run(decoded); }, fast_reps);
+  const double ref_s =
+      time_replays([&] { system.run_reference(trace); }, ref_reps);
+  r.fast_ops_per_sec = fast_s <= 0.0 ? 0.0 : ops * fast_reps / fast_s;
+  r.ref_ops_per_sec = ref_s <= 0.0 ? 0.0 : ops * ref_reps / ref_s;
+  return r;
+}
+
 std::string run_json(const TimedRun& r) {
   return strprintf(
       "{\"wall_ms\": %.2f, \"simulations\": %llu, \"sims_per_sec\": %.2f, "
@@ -75,7 +125,11 @@ std::string run_json(const TimedRun& r) {
 int main(int argc, char** argv) {
   experiments::KernelFilter kernels;
   unsigned jobs = exec::hardware_jobs();
+#ifdef STTSIM_REPO_ROOT
+  std::string out_path = std::string(STTSIM_REPO_ROOT) + "/BENCH_perf.json";
+#else
   std::string out_path = "BENCH_perf.json";
+#endif
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -141,15 +195,68 @@ int main(int argc, char** argv) {
                 identical ? "" : "  [OUTPUT MISMATCH]");
   }
 
+  // Replay microbenchmark: all six organizations over one shared decoded
+  // trace. Rep counts are fixed (not adaptive) so runs stay comparable.
+  const auto replay_trace =
+      workloads::gemm(32, 32, 32, workloads::CodegenOptions::none());
+  const cpu::DecodedTrace replay_decoded = cpu::decode(replay_trace);
+  const unsigned fast_reps = quick ? 24 : 96;
+  const unsigned ref_reps = quick ? 8 : 24;
+  const cpu::Dl1Organization orgs[] = {
+      cpu::Dl1Organization::kSramBaseline, cpu::Dl1Organization::kNvmDropIn,
+      cpu::Dl1Organization::kNvmVwb,       cpu::Dl1Organization::kNvmL0,
+      cpu::Dl1Organization::kNvmEmshr,     cpu::Dl1Organization::kNvmWriteBuf};
+  std::string replay_entries;
+  double fast_time_s = 0.0;
+  double ref_time_s = 0.0;
+  bool all_stats_identical = true;
+  for (const cpu::Dl1Organization org : orgs) {
+    const ReplayResult r =
+        bench_replay(org, replay_trace, replay_decoded, fast_reps, ref_reps);
+    all_stats_identical = all_stats_identical && r.identical_stats;
+    const double ops = static_cast<double>(replay_decoded.size());
+    fast_time_s += r.fast_ops_per_sec <= 0.0 ? 0.0 : ops / r.fast_ops_per_sec;
+    ref_time_s += r.ref_ops_per_sec <= 0.0 ? 0.0 : ops / r.ref_ops_per_sec;
+    const double speedup =
+        r.ref_ops_per_sec <= 0.0 ? 0.0 : r.fast_ops_per_sec / r.ref_ops_per_sec;
+    if (!replay_entries.empty()) replay_entries += ",\n";
+    replay_entries += strprintf(
+        "      {\"org\": \"%s\", \"fast_ops_per_sec\": %.0f, "
+        "\"reference_ops_per_sec\": %.0f, \"speedup\": %.2f, "
+        "\"identical_stats\": %s}",
+        r.org, r.fast_ops_per_sec, r.ref_ops_per_sec, speedup,
+        r.identical_stats ? "true" : "false");
+    std::printf("replay %-14s fast %8.3g ops/s | reference %8.3g ops/s | "
+                "x%.2f%s\n",
+                r.org, r.fast_ops_per_sec, r.ref_ops_per_sec, speedup,
+                r.identical_stats ? "" : "  [STATS MISMATCH]");
+  }
+  const double agg_ops = static_cast<double>(replay_decoded.size()) *
+                         static_cast<double>(std::size(orgs));
+  const double fast_agg = fast_time_s <= 0.0 ? 0.0 : agg_ops / fast_time_s;
+  const double ref_agg = ref_time_s <= 0.0 ? 0.0 : agg_ops / ref_time_s;
+  const std::string replay_json = strprintf(
+      "{\n    \"trace\": \"gemm_32\", \"trace_ops\": %llu,\n"
+      "    \"organizations\": [\n%s\n    ],\n"
+      "    \"fast_agg_ops_per_sec\": %.0f, \"reference_agg_ops_per_sec\": "
+      "%.0f, \"speedup\": %.2f, \"identical_stats\": %s\n  }",
+      static_cast<unsigned long long>(replay_decoded.size()),
+      replay_entries.c_str(), fast_agg, ref_agg,
+      ref_agg <= 0.0 ? 0.0 : fast_agg / ref_agg,
+      all_stats_identical ? "true" : "false");
+  all_identical = all_identical && all_stats_identical;
+
   const double total_speedup =
       parallel_total_ms <= 0.0 ? 0.0 : serial_total_ms / parallel_total_ms;
   const std::string json = strprintf(
       "{\n  \"bench\": \"perf_smoke\",\n  \"hardware_jobs\": %u,\n"
       "  \"parallel_jobs\": %u,\n  \"figures\": [\n%s\n  ],\n"
+      "  \"replay\": %s,\n"
       "  \"total\": {\"serial_wall_ms\": %.2f, \"parallel_wall_ms\": %.2f, "
       "\"speedup\": %.2f, \"identical_output\": %s}\n}\n",
-      exec::hardware_jobs(), jobs, entries.c_str(), serial_total_ms,
-      parallel_total_ms, total_speedup, all_identical ? "true" : "false");
+      exec::hardware_jobs(), jobs, entries.c_str(), replay_json.c_str(),
+      serial_total_ms, parallel_total_ms, total_speedup,
+      all_identical ? "true" : "false");
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {

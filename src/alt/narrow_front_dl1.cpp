@@ -85,15 +85,9 @@ void NarrowFrontDl1System::allocate_front(Addr addr, sim::Cycle ready) {
   stats_.promotions += 1;
 }
 
-sim::Cycle NarrowFrontDl1System::load_entry(Addr addr, sim::Cycle now) {
-  // Front and DL1 tags are probed in parallel (both SRAM): a front miss
-  // starts the NVM array access in the lookup cycle.
-  const sim::Cycle lookup_done = now + 1;
-  const core::VwbHit hit = front_.lookup(addr);
-  if (hit.hit) {
-    stats_.front_hits += 1;
-    return std::max(lookup_done, hit.ready);
-  }
+sim::Cycle NarrowFrontDl1System::load_entry_front_miss(Addr addr,
+                                                       sim::Cycle now,
+                                                       sim::Cycle lookup_done) {
   stats_.front_misses += 1;
 
   const Addr line = array_.line_addr(addr);
@@ -139,6 +133,66 @@ sim::Cycle NarrowFrontDl1System::load(Addr addr, unsigned size,
   return ready;
 }
 
+sim::Cycle NarrowFrontDl1System::store_entry_front_miss(Addr s,
+                                                        sim::Cycle now) {
+  const Addr line = array_.line_addr(s);
+  if (cfg_.policy == FrontAllocPolicy::kOnStore) {
+    // Write-mitigation hybrid: the store allocates a front entry and is
+    // absorbed there; the underlying line is pulled alongside in the
+    // background (array read, or L2 fill on a DL1 miss) so the entry
+    // holds a complete, writable copy.
+    sim::Cycle ready;
+    const sim::Cycle start = now + 1;
+    const sim::Cycle fly = mshr_.lookup(line, start);
+    if (fly != 0) {
+      ready = fly;
+    } else if (array_.access(line, /*is_write=*/false)) {
+      const sim::Grant g =
+          banks_.acquire(s, start, cfg_.dl1.timing.read_cycles);
+      stats_.l1_array_reads += 1;
+      ready = g.done;
+    } else {
+      const sim::Cycle data =
+          fill_from_l2(line, start + cfg_.dl1.timing.tag_cycles);
+      ready = mshr_.allocate(line, start, data);
+    }
+    allocate_front(s, ready);
+    front_.mark_dirty(s);
+    stats_.front_store_hits += 1;
+    return now + 1;
+  }
+  const sim::Cycle slot = store_buffer_.accept(now);
+  const sim::Cycle tag_done = slot + cfg_.dl1.timing.tag_cycles;
+  sim::Cycle done;
+  const sim::Cycle fly = mshr_.lookup(line, slot);
+  if (fly != 0) {
+    const sim::Grant g = banks_.acquire(
+        line, std::max(fly, tag_done), cfg_.dl1.timing.write_cycles);
+    array_.access(line, /*is_write=*/true);
+    stats_.l1_write_hits += 1;
+    stats_.l1_array_writes += 1;
+    done = g.done;
+  } else if (array_.access(line, /*is_write=*/true)) {
+    stats_.l1_write_hits += 1;
+    const sim::Grant g =
+        banks_.acquire(line, tag_done, cfg_.dl1.timing.write_cycles);
+    stats_.l1_array_writes += 1;
+    stats_.bank_conflict_cycles += g.start - tag_done;
+    done = g.done;
+  } else {
+    const sim::Cycle data = l2_->fetch_line(line, tag_done, stats_);
+    stats_.l1_misses += 1;
+    const mem::FillOutcome victim = array_.fill(line, /*dirty=*/true);
+    retire_l1_victim(victim, data);
+    const sim::Grant g =
+        banks_.acquire(line, data, cfg_.dl1.timing.write_cycles);
+    stats_.l1_array_writes += 1;
+    done = g.done;
+  }
+  store_buffer_.commit(done);
+  return std::max(slot, now + 1);
+}
+
 sim::Cycle NarrowFrontDl1System::store(Addr addr, unsigned size,
                                        sim::Cycle now) {
   STTSIM_CHECK(size > 0);
@@ -148,70 +202,7 @@ sim::Cycle NarrowFrontDl1System::store(Addr addr, unsigned size,
   const Addr last = align_down(addr + size - 1, entry);
   sim::Cycle accepted = now + 1;
   for (Addr s = first; s <= last; s += entry) {
-    const core::VwbHit hit = front_.probe(s);
-    if (hit.hit) {
-      // Store data latches into the entry; an in-flight fill merges around
-      // it (same merge logic as the VWB's single-ported cells).
-      front_.mark_dirty(s);
-      stats_.front_store_hits += 1;
-      continue;
-    }
-    const Addr line = array_.line_addr(s);
-    if (cfg_.policy == FrontAllocPolicy::kOnStore) {
-      // Write-mitigation hybrid: the store allocates a front entry and is
-      // absorbed there; the underlying line is pulled alongside in the
-      // background (array read, or L2 fill on a DL1 miss) so the entry
-      // holds a complete, writable copy.
-      sim::Cycle ready;
-      const sim::Cycle start = now + 1;
-      const sim::Cycle fly = mshr_.lookup(line, start);
-      if (fly != 0) {
-        ready = fly;
-      } else if (array_.access(line, /*is_write=*/false)) {
-        const sim::Grant g =
-            banks_.acquire(s, start, cfg_.dl1.timing.read_cycles);
-        stats_.l1_array_reads += 1;
-        ready = g.done;
-      } else {
-        const sim::Cycle data =
-            fill_from_l2(line, start + cfg_.dl1.timing.tag_cycles);
-        ready = mshr_.allocate(line, start, data);
-      }
-      allocate_front(s, ready);
-      front_.mark_dirty(s);
-      stats_.front_store_hits += 1;
-      continue;
-    }
-    const sim::Cycle slot = store_buffer_.accept(now);
-    const sim::Cycle tag_done = slot + cfg_.dl1.timing.tag_cycles;
-    sim::Cycle done;
-    const sim::Cycle fly = mshr_.lookup(line, slot);
-    if (fly != 0) {
-      const sim::Grant g = banks_.acquire(
-          line, std::max(fly, tag_done), cfg_.dl1.timing.write_cycles);
-      array_.access(line, /*is_write=*/true);
-      stats_.l1_write_hits += 1;
-      stats_.l1_array_writes += 1;
-      done = g.done;
-    } else if (array_.access(line, /*is_write=*/true)) {
-      stats_.l1_write_hits += 1;
-      const sim::Grant g =
-          banks_.acquire(line, tag_done, cfg_.dl1.timing.write_cycles);
-      stats_.l1_array_writes += 1;
-      stats_.bank_conflict_cycles += g.start - tag_done;
-      done = g.done;
-    } else {
-      const sim::Cycle data = l2_->fetch_line(line, tag_done, stats_);
-      stats_.l1_misses += 1;
-      const mem::FillOutcome victim = array_.fill(line, /*dirty=*/true);
-      retire_l1_victim(victim, data);
-      const sim::Grant g =
-          banks_.acquire(line, data, cfg_.dl1.timing.write_cycles);
-      stats_.l1_array_writes += 1;
-      done = g.done;
-    }
-    store_buffer_.commit(done);
-    accepted = std::max(accepted, std::max(slot, now + 1));
+    accepted = std::max(accepted, store_entry(s, now));
   }
   return accepted;
 }

@@ -65,7 +65,7 @@ Divergence run_differential(const cpu::SystemConfig& config,
   Divergence div;
   std::size_t shadow_seen = 0;
   cpu::InOrderCore core;
-  core.run(trace, system.dl1(), [&](const cpu::OpEvent& ev) {
+  core.run_observed(trace, system.dl1(), [&](const cpu::OpEvent& ev) {
     if (div.diverged) return;  // oracle stops at the first divergence
     const cpu::TraceOp& op = *ev.op;
 

@@ -14,6 +14,12 @@
 //
 // This class is purely the buffer's functional + readiness state; the timing
 // of promotions/evictions lives in VwbDl1System, which owns the NVM banks.
+//
+// Storage is flattened for the replay hot path: per-line metadata (base tag,
+// LRU) lives in one small contiguous array and all sector state in a second
+// flat array, so lookup()/probe() — called for every access in the VWB and
+// narrow-front organizations — are header-inline tag scans with no nested
+// vector indirection.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +27,7 @@
 
 #include "sttsim/sim/cycle.hpp"
 #include "sttsim/util/bits.hpp"
+#include "sttsim/util/check.hpp"
 
 namespace sttsim::core {
 
@@ -63,14 +70,48 @@ class VeryWideBuffer {
 
   /// Checks whether the sector containing `addr` is resident. Updates LRU on
   /// hit (a real access, not a probe).
-  VwbHit lookup(Addr addr);
+  VwbHit lookup(Addr addr) {
+    VwbHit h;
+    const std::ptrdiff_t li = find_line_index(addr);
+    if (li < 0) return h;
+    const Sector& s = sector_at(li, addr);
+    if (!s.valid) return h;
+    lru_[static_cast<std::size_t>(li)] = ++lru_clock_;
+    h.hit = true;
+    h.dirty = s.dirty;
+    h.ready = s.ready;
+    return h;
+  }
 
   /// Probe without LRU update (for tests and policy decisions).
-  VwbHit probe(Addr addr) const;
+  VwbHit probe(Addr addr) const {
+    VwbHit h;
+    const std::ptrdiff_t li = find_line_index(addr);
+    if (li < 0) return h;
+    const Sector& s = sector_at(li, addr);
+    if (!s.valid) return h;
+    h.hit = true;
+    h.dirty = s.dirty;
+    h.ready = s.ready;
+    return h;
+  }
 
   /// Marks the (resident) sector containing `addr` dirty — a store absorbed
   /// by the VWB. Precondition: probe(addr).hit.
   void mark_dirty(Addr addr);
+
+  /// Fused probe + mark_dirty for the store hot path: if the sector
+  /// containing `addr` is resident, dirties it (with the LRU touch
+  /// mark_dirty performs) in the same tag scan and returns true.
+  bool try_store_hit(Addr addr) {
+    const std::ptrdiff_t li = find_line_index(addr);
+    if (li < 0) return false;
+    Sector& s = sector_at(li, addr);
+    if (!s.valid) return false;
+    s.dirty = true;
+    lru_[static_cast<std::size_t>(li)] = ++lru_clock_;
+    return true;
+  }
 
   /// Allocates (or reuses) the VWB line for `addr`, evicting the LRU line if
   /// both lines hold other data. Dirty sectors of the victim are appended to
@@ -79,7 +120,24 @@ class VeryWideBuffer {
 
   /// Installs the sector containing `addr` into line slot `slot`
   /// (allocated for this address) with promotion completing at `ready`.
-  void fill_sector(unsigned slot, Addr addr, sim::Cycle ready);
+  /// Inline: runs once or twice per promotion, right after allocate_line.
+  void fill_sector(unsigned slot, Addr addr, sim::Cycle ready) {
+    STTSIM_CHECK(slot < bases_.size());
+    STTSIM_CHECK(bases_[slot] == vline_addr(addr));
+    Sector& s = sector_at(static_cast<std::ptrdiff_t>(slot), addr);
+    s.valid = true;
+    s.dirty = false;
+    s.ready = ready;
+  }
+
+  /// Whether the sector containing `addr` is resident in line slot `slot`.
+  /// Precondition: slot_maps(slot, addr) — this is the scan-free residency
+  /// check for ride-along sectors of a line the caller just allocated.
+  bool sector_valid(unsigned slot, Addr addr) const {
+    return sectors_[static_cast<std::size_t>(slot) * spl_ +
+                    sector_index(addr)]
+        .valid;
+  }
 
   /// Invalidates the sector containing `addr` if resident (used when the DL1
   /// evicts the underlying line). Returns true iff the sector was dirty — the
@@ -96,23 +154,45 @@ class VeryWideBuffer {
 
  private:
   struct Sector {
+    sim::Cycle ready = 0;
     bool valid = false;
     bool dirty = false;
-    sim::Cycle ready = 0;
   };
-  struct Line {
-    Addr base = 0;  ///< VWB-line-aligned base address
-    bool valid = false;
-    std::uint64_t lru = 0;
-    std::vector<Sector> sectors;
-  };
+  /// Sentinel base for invalid lines: real bases are line-aligned
+  /// (line_bytes >= sector_bytes >= 2), so all-ones can never match and the
+  /// residency scan needs no separate valid check — a line is valid iff its
+  /// base differs from kNoBase.
+  static constexpr Addr kNoBase = ~Addr{0};
 
-  Line* find_line(Addr addr);
-  const Line* find_line(Addr addr) const;
-  unsigned sector_index(Addr addr) const;
+  unsigned sector_index(Addr addr) const {
+    return static_cast<unsigned>((addr >> sector_shift_) & (spl_ - 1));
+  }
+  /// Index of the valid line mapping `addr`'s VWB line, or -1. The bases
+  /// live in their own packed array (8 B per line) so the scan touches one
+  /// cache line even for the 8-entry L0 front.
+  std::ptrdiff_t find_line_index(Addr addr) const {
+    const Addr base = vline_addr(addr);
+    const Addr* b = bases_.data();
+    const std::size_t n = bases_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (b[i] == base) return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  }
+  Sector& sector_at(std::ptrdiff_t line, Addr addr) {
+    return sectors_[static_cast<std::size_t>(line) * spl_ + sector_index(addr)];
+  }
+  const Sector& sector_at(std::ptrdiff_t line, Addr addr) const {
+    return sectors_[static_cast<std::size_t>(line) * spl_ + sector_index(addr)];
+  }
 
   VwbGeometry geom_;
-  std::vector<Line> lines_;
+  unsigned sector_shift_ = 0;
+  unsigned spl_ = 1;  ///< sectors per line (power of two)
+  // Structure-of-arrays line metadata (same layout idea as SetAssocCache).
+  std::vector<Addr> bases_;          ///< VWB-line base per slot, or kNoBase
+  std::vector<std::uint64_t> lru_;   ///< last-use stamp; larger = newer
+  std::vector<Sector> sectors_;      ///< flat, line-major
   std::uint64_t lru_clock_ = 0;
 };
 

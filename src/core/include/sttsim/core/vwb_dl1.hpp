@@ -52,13 +52,60 @@ class VwbDl1System final : public Dl1System {
   const VwbDl1Config& config() const { return cfg_; }
   const VeryWideBuffer& vwb() const { return vwb_; }
 
+  /// log2 of the access granularity (one VWB sector == one DL1 line).
+  unsigned granule_shift() const { return log2_exact(cfg_.vwb.sector_bytes); }
+
+  /// Single-granule entries for the replay fast path (cpu::replay_decoded).
+  /// Precondition: the access lies within one sector.
+  sim::Cycle load_single(Addr addr, sim::Cycle now) {
+    stats_.loads += 1;
+    return load_sector(addr, now);
+  }
+  sim::Cycle store_single(Addr addr, sim::Cycle now) {
+    stats_.stores += 1;
+    return store_sector(vwb_.sector_addr(addr), now);
+  }
+
   /// Test hooks.
   bool l1_contains(Addr addr) const { return array_.probe(addr); }
   bool l1_dirty(Addr addr) const { return array_.is_dirty(addr); }
 
  private:
-  /// Serves one sector-granular load; returns data-ready cycle.
-  sim::Cycle load_sector(Addr addr, sim::Cycle now);
+  /// Serves one sector-granular load; returns data-ready cycle. The VWB hit
+  /// is fully inline (flat tag scan); a miss promotes out-of-line.
+  sim::Cycle load_sector(Addr addr, sim::Cycle now) {
+    // The VWB and the (SRAM) DL1 tags are probed in parallel, so a VWB miss
+    // starts the NVM array access in the same cycle the lookup began — a
+    // VWB miss costs no more than the drop-in organization's read.
+    const sim::Cycle lookup_done = now + 1;
+    const VwbHit hit = vwb_.lookup(addr);
+    if (hit.hit) {
+      stats_.front_hits += 1;
+      // If the sector is still being promoted, the core waits for it.
+      return hit.ready > lookup_done ? hit.ready : lookup_done;
+    }
+    stats_.front_misses += 1;
+    const sim::Cycle ready = promote(addr, now);
+    return ready > lookup_done ? ready : lookup_done;
+  }
+  /// Serves one sector-granular store (`s` sector-aligned); returns the
+  /// cycle the store is accepted (>= now + 1). VWB-absorbed stores are
+  /// inline; the direct-to-array path is out-of-line.
+  sim::Cycle store_sector(Addr s, sim::Cycle now) {
+    if (vwb_.try_store_hit(s)) {
+      // Absorbed by the VWB (paper: the DL1 is updated via the VWB only
+      // when the block is already present). A store into a still-promoting
+      // sector does not stall: the single-ported cells latch the store data
+      // and the arriving promotion merges around it. Any fill-register copy
+      // of the sector becomes stale.
+      fills_.invalidate(s);
+      stats_.front_store_hits += 1;
+      return now + 1;
+    }
+    return store_sector_front_miss(s, now);
+  }
+  /// Direct update of the NVM array through the store buffer (VWB miss).
+  sim::Cycle store_sector_front_miss(Addr s, sim::Cycle now);
   /// Promotes the full VWB line containing `addr` from the DL1/L2.
   /// `demand_addr` identifies the sector whose data the core is waiting for;
   /// returns the cycle that sector is available. `now` is when the promotion

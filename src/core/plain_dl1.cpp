@@ -35,22 +35,8 @@ void PlainDl1System::retire_victim(const mem::FillOutcome& victim,
   stats_.l1_writebacks += 1;
 }
 
-sim::Cycle PlainDl1System::load_line(Addr addr, sim::Cycle now) {
-  const Addr line = array_.line_addr(addr);
-  // SRAM tag lookup determines hit/miss.
-  const sim::Cycle tag_done = now + cfg_.timing.tag_cycles;
-  if (array_.access(line, /*is_write=*/false)) {
-    stats_.l1_read_hits += 1;
-    // Data-array access overlaps the tag lookup (parallel tag/data read, as
-    // in the A9's L1): data is ready when the array read completes. A line
-    // whose prefetch is still arriving from L2 is usable only on arrival.
-    const sim::Cycle pending = fills_.consume(line).value_or(0);
-    const sim::Grant g = banks_.acquire(line, now, cfg_.timing.read_cycles);
-    stats_.l1_array_reads += 1;
-    stats_.bank_conflict_cycles += g.start - now;
-    return std::max({g.done, tag_done, pending});
-  }
-  // Miss: fetch from L2, allocate (write-allocate), deliver critical word on
+sim::Cycle PlainDl1System::load_miss(Addr line, sim::Cycle tag_done) {
+  // Fetch from L2, allocate (write-allocate), deliver critical word on
   // arrival while the line fill retires into the array in the background.
   stats_.l1_misses += 1;
   const sim::Cycle data = l2_->fetch_line(line, tag_done, stats_);
@@ -88,19 +74,7 @@ sim::Cycle PlainDl1System::load(Addr addr, unsigned size, sim::Cycle now) {
   return ready;
 }
 
-sim::Cycle PlainDl1System::drain_store(Addr addr, sim::Cycle start) {
-  const Addr line = array_.line_addr(addr);
-  const sim::Cycle tag_done = start + cfg_.timing.tag_cycles;
-  if (array_.access(line, /*is_write=*/true)) {
-    stats_.l1_write_hits += 1;
-    const sim::Cycle pending = fills_.consume(line).value_or(0);
-    const sim::Cycle earliest = std::max(tag_done, pending);
-    const sim::Grant g =
-        banks_.acquire(line, earliest, cfg_.timing.write_cycles);
-    stats_.l1_array_writes += 1;
-    stats_.bank_conflict_cycles += g.start - earliest;
-    return g.done;
-  }
+sim::Cycle PlainDl1System::store_miss(Addr line, sim::Cycle tag_done) {
   // Write miss: write-allocate — fetch the line, fill the covered span, and
   // merge the store into the demand line's fill write.
   stats_.l1_misses += 1;

@@ -1,5 +1,7 @@
 #include "sttsim/core/vwb.hpp"
 
+#include <algorithm>
+
 #include "sttsim/util/check.hpp"
 
 namespace sttsim::core {
@@ -16,118 +18,74 @@ void VwbGeometry::validate() const {
 
 VeryWideBuffer::VeryWideBuffer(const VwbGeometry& geometry) : geom_(geometry) {
   geom_.validate();
-  lines_.resize(geom_.num_lines);
-  for (Line& l : lines_) l.sectors.resize(geom_.sectors_per_line());
-}
-
-unsigned VeryWideBuffer::sector_index(Addr addr) const {
-  return static_cast<unsigned>((addr % geom_.line_bytes) / geom_.sector_bytes);
-}
-
-VeryWideBuffer::Line* VeryWideBuffer::find_line(Addr addr) {
-  const Addr base = vline_addr(addr);
-  for (Line& l : lines_) {
-    if (l.valid && l.base == base) return &l;
-  }
-  return nullptr;
-}
-
-const VeryWideBuffer::Line* VeryWideBuffer::find_line(Addr addr) const {
-  return const_cast<VeryWideBuffer*>(this)->find_line(addr);
-}
-
-VwbHit VeryWideBuffer::lookup(Addr addr) {
-  Line* line = find_line(addr);
-  VwbHit h;
-  if (line == nullptr) return h;
-  const Sector& s = line->sectors[sector_index(addr)];
-  if (!s.valid) return h;
-  line->lru = ++lru_clock_;
-  h.hit = true;
-  h.dirty = s.dirty;
-  h.ready = s.ready;
-  return h;
-}
-
-VwbHit VeryWideBuffer::probe(Addr addr) const {
-  const Line* line = find_line(addr);
-  VwbHit h;
-  if (line == nullptr) return h;
-  const Sector& s = line->sectors[sector_index(addr)];
-  if (!s.valid) return h;
-  h.hit = true;
-  h.dirty = s.dirty;
-  h.ready = s.ready;
-  return h;
+  sector_shift_ = log2_exact(geom_.sector_bytes);
+  spl_ = geom_.sectors_per_line();
+  bases_.assign(geom_.num_lines, kNoBase);
+  lru_.assign(geom_.num_lines, 0);
+  sectors_.resize(static_cast<std::size_t>(geom_.num_lines) * spl_);
 }
 
 void VeryWideBuffer::mark_dirty(Addr addr) {
-  Line* line = find_line(addr);
-  STTSIM_CHECK(line != nullptr);
-  Sector& s = line->sectors[sector_index(addr)];
+  const std::ptrdiff_t li = find_line_index(addr);
+  STTSIM_CHECK(li >= 0);
+  Sector& s = sector_at(li, addr);
   STTSIM_CHECK(s.valid);
   s.dirty = true;
-  line->lru = ++lru_clock_;
+  lru_[static_cast<std::size_t>(li)] = ++lru_clock_;
 }
 
 unsigned VeryWideBuffer::allocate_line(Addr addr,
                                        std::vector<VwbWriteback>& writebacks) {
   const Addr base = vline_addr(addr);
-  // Reuse an existing mapping or an invalid slot before evicting LRU.
-  Line* target = nullptr;
-  for (Line& l : lines_) {
-    if (l.valid && l.base == base) {
-      target = &l;
+  // One pass finds, in priority order, an existing mapping, the first
+  // invalid slot, and the first-minimum-LRU victim (the tie-breaks the
+  // original three-scan version produced). The running minimum is kept in
+  // registers — this scan runs on every front allocation.
+  const std::size_t n = bases_.size();
+  std::ptrdiff_t match = -1;
+  std::ptrdiff_t invalid = -1;
+  std::size_t lru_min = 0;
+  std::uint64_t lru_min_val = lru_[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Addr b = bases_[i];
+    if (b == base) {
+      match = static_cast<std::ptrdiff_t>(i);
       break;
     }
-  }
-  if (target == nullptr) {
-    for (Line& l : lines_) {
-      if (!l.valid) {
-        target = &l;
-        break;
-      }
+    if (invalid < 0 && b == kNoBase) invalid = static_cast<std::ptrdiff_t>(i);
+    if (lru_[i] < lru_min_val) {
+      lru_min_val = lru_[i];
+      lru_min = i;
     }
   }
-  if (target == nullptr) {
-    target = &lines_[0];
-    for (Line& l : lines_) {
-      if (l.lru < target->lru) target = &l;
-    }
+  std::ptrdiff_t target = match >= 0 ? match : invalid;
+  if (target < 0) {
+    target = static_cast<std::ptrdiff_t>(lru_min);
     // Evict: surface dirty sectors to the caller.
-    for (unsigned i = 0; i < target->sectors.size(); ++i) {
-      Sector& s = target->sectors[i];
+    const Addr victim_base = bases_[static_cast<std::size_t>(target)];
+    Sector* sectors = sectors_.data() + static_cast<std::size_t>(target) * spl_;
+    for (unsigned i = 0; i < spl_; ++i) {
+      Sector& s = sectors[i];
       if (s.valid && s.dirty) {
-        writebacks.push_back(
-            VwbWriteback{target->base + i * geom_.sector_bytes});
+        writebacks.push_back(VwbWriteback{victim_base + i * geom_.sector_bytes});
       }
       s = Sector{};
     }
-    target->valid = false;
+    bases_[static_cast<std::size_t>(target)] = kNoBase;
   }
-  if (!target->valid) {
-    target->base = base;
-    target->valid = true;
-    for (Sector& s : target->sectors) s = Sector{};
+  if (bases_[static_cast<std::size_t>(target)] == kNoBase) {
+    bases_[static_cast<std::size_t>(target)] = base;
+    Sector* sectors = sectors_.data() + static_cast<std::size_t>(target) * spl_;
+    for (unsigned i = 0; i < spl_; ++i) sectors[i] = Sector{};
   }
-  target->lru = ++lru_clock_;
-  return static_cast<unsigned>(target - lines_.data());
-}
-
-void VeryWideBuffer::fill_sector(unsigned slot, Addr addr, sim::Cycle ready) {
-  STTSIM_CHECK(slot < lines_.size());
-  Line& line = lines_[slot];
-  STTSIM_CHECK(line.valid && line.base == vline_addr(addr));
-  Sector& s = line.sectors[sector_index(addr)];
-  s.valid = true;
-  s.dirty = false;
-  s.ready = ready;
+  lru_[static_cast<std::size_t>(target)] = ++lru_clock_;
+  return static_cast<unsigned>(target);
 }
 
 bool VeryWideBuffer::invalidate_sector(Addr addr) {
-  Line* line = find_line(addr);
-  if (line == nullptr) return false;
-  Sector& s = line->sectors[sector_index(addr)];
+  const std::ptrdiff_t li = find_line_index(addr);
+  if (li < 0) return false;
+  Sector& s = sector_at(li, addr);
   if (!s.valid) return false;
   const bool was_dirty = s.dirty;
   s = Sector{};
@@ -135,25 +93,24 @@ bool VeryWideBuffer::invalidate_sector(Addr addr) {
 }
 
 bool VeryWideBuffer::slot_maps(unsigned slot, Addr addr) const {
-  STTSIM_CHECK(slot < lines_.size());
-  const Line& line = lines_[slot];
-  return line.valid && line.base == vline_addr(addr);
+  STTSIM_CHECK(slot < bases_.size());
+  return bases_[slot] == vline_addr(addr);
 }
 
 unsigned VeryWideBuffer::resident_sectors() const {
   unsigned n = 0;
-  for (const Line& l : lines_) {
-    if (!l.valid) continue;
-    for (const Sector& s : l.sectors) n += s.valid ? 1 : 0;
+  for (std::size_t li = 0; li < bases_.size(); ++li) {
+    if (bases_[li] == kNoBase) continue;
+    const Sector* sectors = sectors_.data() + li * spl_;
+    for (unsigned i = 0; i < spl_; ++i) n += sectors[i].valid ? 1 : 0;
   }
   return n;
 }
 
 void VeryWideBuffer::reset() {
-  for (Line& l : lines_) {
-    l = Line{};
-    l.sectors.resize(geom_.sectors_per_line());
-  }
+  std::fill(bases_.begin(), bases_.end(), kNoBase);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  for (Sector& s : sectors_) s = Sector{};
   lru_clock_ = 0;
 }
 

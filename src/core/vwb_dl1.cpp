@@ -80,7 +80,7 @@ sim::Cycle VwbDl1System::promote(Addr demand_addr, sim::Cycle now) {
   const Addr demand_line = vwb_.sector_addr(demand_addr);
   wb_scratch_.clear();
   const unsigned slot = vwb_.allocate_line(demand_addr, wb_scratch_);
-  retire_vwb_writebacks(wb_scratch_);
+  if (!wb_scratch_.empty()) retire_vwb_writebacks(wb_scratch_);
 
   // Demand sector first — the core is waiting on it (critical word first).
   sim::Cycle demand_ready;
@@ -115,8 +115,9 @@ sim::Cycle VwbDl1System::promote(Addr demand_addr, sim::Cycle now) {
   const std::uint64_t sector = cfg_.vwb.sector_bytes;
   for (Addr s = vline; s < vline + cfg_.vwb.line_bytes; s += sector) {
     if (s == demand_line) continue;
-    if (!vwb_.slot_maps(slot, s)) break;  // defensive; cannot happen
-    if (vwb_.probe(s).hit) continue;      // already resident (partial line)
+    // `slot` maps this whole VWB line (just allocated for it), so residency
+    // is a direct sector check — no tag scan.
+    if (vwb_.sector_valid(slot, s)) continue;  // resident (partial line)
     // A sector staged by a prefetch stays in its fill register until the
     // demand access consumes it — moving it into the VWB early risks losing
     // it to an eviction before use.
@@ -132,22 +133,6 @@ sim::Cycle VwbDl1System::promote(Addr demand_addr, sim::Cycle now) {
   return demand_ready;
 }
 
-sim::Cycle VwbDl1System::load_sector(Addr addr, sim::Cycle now) {
-  // The VWB and the (SRAM) DL1 tags are probed in parallel, so a VWB miss
-  // starts the NVM array access in the same cycle the lookup began — a VWB
-  // miss costs no more than the drop-in organization's read.
-  const sim::Cycle lookup_done = now + 1;
-  const VwbHit hit = vwb_.lookup(addr);
-  if (hit.hit) {
-    stats_.front_hits += 1;
-    // If the sector is still being promoted, the core waits for it.
-    return std::max(lookup_done, hit.ready);
-  }
-  stats_.front_misses += 1;
-  const sim::Cycle ready = promote(addr, now);
-  return std::max(ready, lookup_done);
-}
-
 sim::Cycle VwbDl1System::load(Addr addr, unsigned size, sim::Cycle now) {
   STTSIM_CHECK(size > 0);
   stats_.loads += 1;
@@ -161,6 +146,37 @@ sim::Cycle VwbDl1System::load(Addr addr, unsigned size, sim::Cycle now) {
   return ready;
 }
 
+sim::Cycle VwbDl1System::store_sector_front_miss(Addr s, sim::Cycle now) {
+  // Direct update of the NVM array through the store buffer. Any pending
+  // fill-register copy of the line becomes stale.
+  const auto pending_fill = fills_.consume(s);
+  const sim::Cycle slot = store_buffer_.accept(now);
+  const sim::Cycle tag_done = slot + cfg_.dl1.timing.tag_cycles;
+  sim::Cycle done;
+  if (array_.access(s, /*is_write=*/true)) {
+    stats_.l1_write_hits += 1;
+    // If a prefetch-triggered L2 fill of this line is still in flight, the
+    // merge happens after the data arrives.
+    const sim::Cycle earliest = std::max(tag_done, pending_fill.value_or(0));
+    const sim::Grant g =
+        banks_.acquire(s, earliest, cfg_.dl1.timing.write_cycles);
+    stats_.l1_array_writes += 1;
+    stats_.bank_conflict_cycles += g.start - earliest;
+    done = g.done;
+  } else {
+    // Write miss: write-allocate in the DL1, no-allocate in the VWB.
+    const sim::Cycle data = l2_->fetch_line(s, tag_done, stats_);
+    stats_.l1_misses += 1;
+    const mem::FillOutcome victim = array_.fill(s, /*dirty=*/true);
+    retire_l1_victim(victim, data);
+    const sim::Grant g = banks_.acquire(s, data, cfg_.dl1.timing.write_cycles);
+    stats_.l1_array_writes += 1;
+    done = g.done;
+  }
+  store_buffer_.commit(done);
+  return std::max(slot, now + 1);
+}
+
 sim::Cycle VwbDl1System::store(Addr addr, unsigned size, sim::Cycle now) {
   STTSIM_CHECK(size > 0);
   stats_.stores += 1;
@@ -169,48 +185,7 @@ sim::Cycle VwbDl1System::store(Addr addr, unsigned size, sim::Cycle now) {
   const Addr last = align_down(addr + size - 1, sector);
   sim::Cycle accepted = now + 1;
   for (Addr s = first; s <= last; s += sector) {
-    const VwbHit hit = vwb_.probe(s);
-    if (hit.hit) {
-      // Absorbed by the VWB (paper: the DL1 is updated via the VWB only when
-      // the block is already present). A store into a still-promoting sector
-      // does not stall: the single-ported cells latch the store data and the
-      // arriving promotion merges around it. Any fill-register copy of the
-      // sector becomes stale.
-      fills_.invalidate(s);
-      vwb_.mark_dirty(s);
-      stats_.front_store_hits += 1;
-      continue;
-    }
-    // Direct update of the NVM array through the store buffer. Any pending
-    // fill-register copy of the line becomes stale.
-    const auto pending_fill = fills_.consume(s);
-    const sim::Cycle slot = store_buffer_.accept(now);
-    const sim::Cycle tag_done = slot + cfg_.dl1.timing.tag_cycles;
-    sim::Cycle done;
-    if (array_.access(s, /*is_write=*/true)) {
-      stats_.l1_write_hits += 1;
-      // If a prefetch-triggered L2 fill of this line is still in flight, the
-      // merge happens after the data arrives.
-      const sim::Cycle earliest =
-          std::max(tag_done, pending_fill.value_or(0));
-      const sim::Grant g =
-          banks_.acquire(s, earliest, cfg_.dl1.timing.write_cycles);
-      stats_.l1_array_writes += 1;
-      stats_.bank_conflict_cycles += g.start - earliest;
-      done = g.done;
-    } else {
-      // Write miss: write-allocate in the DL1, no-allocate in the VWB.
-      const sim::Cycle data = l2_->fetch_line(s, tag_done, stats_);
-      stats_.l1_misses += 1;
-      const mem::FillOutcome victim = array_.fill(s, /*dirty=*/true);
-      retire_l1_victim(victim, data);
-      const sim::Grant g =
-          banks_.acquire(s, data, cfg_.dl1.timing.write_cycles);
-      stats_.l1_array_writes += 1;
-      done = g.done;
-    }
-    store_buffer_.commit(done);
-    accepted = std::max(accepted, std::max(slot, now + 1));
+    accepted = std::max(accepted, store_sector(s, now));
   }
   return accepted;
 }

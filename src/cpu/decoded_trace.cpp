@@ -1,0 +1,50 @@
+#include "sttsim/cpu/decoded_trace.hpp"
+
+namespace sttsim::cpu {
+
+namespace {
+
+std::uint8_t span_of(Addr addr, unsigned size, unsigned shift) {
+  if (size == 0) return 1;
+  const Addr mask = (Addr{1} << shift) - 1;
+  return static_cast<std::uint8_t>((((addr & mask) + size - 1) >> shift) + 1);
+}
+
+}  // namespace
+
+DecodedTrace decode(const Trace& trace) {
+  DecodedTrace out;
+  out.ops.reserve(trace.size());
+  for (const TraceOp& op : trace) {
+    DecodedOp d;
+    d.addr = op.addr;
+    d.count = op.count;
+    d.kind = op.kind;
+    d.size = op.size;
+    if (op.is_memory()) {
+      d.span32 = span_of(op.addr, op.size, 5);
+      d.span64 = span_of(op.addr, op.size, 6);
+    }
+    out.ops.push_back(d);
+    if (op.kind == OpKind::kStore) out.store_values.push_back(op.value);
+  }
+  return out;
+}
+
+Trace reassemble(const DecodedTrace& decoded) {
+  Trace out;
+  out.reserve(decoded.ops.size());
+  std::size_t store = 0;
+  for (const DecodedOp& d : decoded.ops) {
+    TraceOp op;
+    op.kind = d.kind;
+    op.size = d.size;
+    op.count = d.count;
+    op.addr = d.addr;
+    if (d.kind == OpKind::kStore) op.value = decoded.store_values[store++];
+    out.push_back(op);
+  }
+  return out;
+}
+
+}  // namespace sttsim::cpu

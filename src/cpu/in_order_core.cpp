@@ -4,12 +4,15 @@
 
 namespace sttsim::cpu {
 
-sim::RunStats InOrderCore::run(const Trace& trace, core::Dl1System& dl1) {
-  return run(trace, dl1, OpObserver{});
-}
+namespace {
 
-sim::RunStats InOrderCore::run(const Trace& trace, core::Dl1System& dl1,
-                               const OpObserver& observer) {
+// One loop body shared by the plain and observed runs. `Observe` is either a
+// no-op (run: the compiler deletes the call and the `issue` bookkeeping) or
+// the hook invocation (run_observed) — the plain path pays nothing for the
+// observability.
+template <class Observe>
+sim::RunStats run_loop(const Trace& trace, core::Dl1System& dl1,
+                       Observe&& observe) {
   sim::CoreStats core;
   sim::Cycle now = 0;
   for (std::size_t i = 0; i < trace.size(); ++i) {
@@ -52,13 +55,30 @@ sim::RunStats InOrderCore::run(const Trace& trace, core::Dl1System& dl1,
         break;
       }
     }
-    if (observer) observer(OpEvent{i, &op, issue, now});
+    observe(i, &op, issue, now);
   }
   core.total_cycles = now;
   sim::RunStats out;
   out.core = core;
   out.mem = dl1.stats();
   return out;
+}
+
+}  // namespace
+
+sim::RunStats InOrderCore::run(const Trace& trace, core::Dl1System& dl1) {
+  return run_loop(trace, dl1,
+                  [](std::size_t, const TraceOp*, sim::Cycle, sim::Cycle) {});
+}
+
+sim::RunStats InOrderCore::run_observed(const Trace& trace,
+                                        core::Dl1System& dl1,
+                                        const OpObserver& observer) {
+  return run_loop(trace, dl1,
+                  [&observer](std::size_t i, const TraceOp* op,
+                              sim::Cycle issue, sim::Cycle complete) {
+                    if (observer) observer(OpEvent{i, op, issue, complete});
+                  });
 }
 
 }  // namespace sttsim::cpu

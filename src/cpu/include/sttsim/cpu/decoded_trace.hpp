@@ -1,0 +1,68 @@
+// Decoded (replay-optimized) trace representation.
+//
+// A raw TraceOp is 32 bytes and leaves per-access geometry work — "how many
+// cache granules does this access cover?" — to be redone inside every DL1
+// organization on every replay. A grid run replays the same trace against
+// dozens of configurations, so that work is hoisted into a one-time decode:
+//
+//  * ops are packed to 16 bytes (half the footprint, twice the ops per cache
+//    line of the *host* machine while streaming the trace);
+//  * the number of 32-byte and 64-byte granules each access spans — the only
+//    two granularities the paper's organizations use (256-bit SRAM line,
+//    512-bit STT-MRAM line / VWB sector) — is precomputed, so the replay loop
+//    can take a single-granule fast path without address arithmetic;
+//  * store payloads (ignored by the timing model, used only by the check::
+//    data-content shadow) move to a sidecar array indexed by store ordinal.
+//
+// decode()/reassemble() are exact inverses for any trace whose non-store ops
+// carry no payload (all generator- and fuzzer-produced traces do this), which
+// tests/test_fastpath verifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sttsim/cpu/trace.hpp"
+#include "sttsim/util/bits.hpp"
+
+namespace sttsim::cpu {
+
+/// One replay-ready op. 16 bytes, trivially copyable.
+struct DecodedOp {
+  Addr addr = 0;
+  std::uint32_t count = 1;  ///< instruction count (exec bundles)
+  OpKind kind = OpKind::kExec;
+  std::uint8_t size = 0;    ///< access width in bytes (loads/stores)
+  std::uint8_t span32 = 1;  ///< 32-byte granules covered (memory ops)
+  std::uint8_t span64 = 1;  ///< 64-byte granules covered (memory ops)
+};
+static_assert(sizeof(DecodedOp) == 16, "DecodedOp must stay 16 bytes packed");
+
+/// Granules of (1 << shift) bytes covered by `op` — from the precomputed
+/// spans when the granularity is one the decode anticipated, otherwise
+/// computed on the fly (degenerate geometries, e.g. sub-line VWB sweeps).
+inline unsigned decoded_span(const DecodedOp& op, unsigned shift) {
+  if (shift == 5) return op.span32;
+  if (shift == 6) return op.span64;
+  const Addr mask = (Addr{1} << shift) - 1;
+  return static_cast<unsigned>(((op.addr & mask) + op.size - 1) >> shift) + 1;
+}
+
+struct DecodedTrace {
+  std::vector<DecodedOp> ops;
+  /// Store payloads in store-ordinal order (`ops` position of the i-th
+  /// kStore op maps to store_values[i]).
+  std::vector<std::uint64_t> store_values;
+
+  std::size_t size() const { return ops.size(); }
+  bool empty() const { return ops.empty(); }
+};
+
+/// Precomputes the replay-ready form of `trace`.
+DecodedTrace decode(const Trace& trace);
+
+/// Reconstructs the raw trace (inverse of decode for generator traces; the
+/// fast-path tests round-trip through this).
+Trace reassemble(const DecodedTrace& decoded);
+
+}  // namespace sttsim::cpu

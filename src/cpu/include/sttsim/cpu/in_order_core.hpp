@@ -37,12 +37,16 @@ class InOrderCore {
  public:
   /// Runs `trace` to completion against `dl1` (which accumulates MemStats);
   /// returns the merged run statistics. The DL1 is NOT reset first — callers
-  /// compose warm-up + measured phases if they need to.
+  /// compose warm-up + measured phases if they need to. Observer-free: the
+  /// loop carries no per-op hook branch. This virtual-dispatch loop is the
+  /// reference the devirtualized fast path (replay.hpp) is held equal to.
   sim::RunStats run(const Trace& trace, core::Dl1System& dl1);
 
-  /// Same, invoking `observer` after each op (when non-null).
-  sim::RunStats run(const Trace& trace, core::Dl1System& dl1,
-                    const OpObserver& observer);
+  /// Same loop, invoking `observer` after each op. Kept as a separate
+  /// instantiation (not a null-observer call through run) so the common path
+  /// never pays the hook; the differential oracle (src/check) uses this one.
+  sim::RunStats run_observed(const Trace& trace, core::Dl1System& dl1,
+                             const OpObserver& observer);
 };
 
 }  // namespace sttsim::cpu

@@ -1,0 +1,85 @@
+// Devirtualized replay loop — the simulator's single-thread hot path.
+//
+// InOrderCore::run drives a Dl1System through its virtual interface: correct,
+// observable, and the differential oracle's reference — but every load/store
+// pays an indirect call plus per-access span arithmetic. A grid run replays
+// millions of ops per configuration, so cpu::System selects, once at build
+// time, an instantiation of this template over the *concrete* organization
+// class instead. All six organizations map onto three `final` classes
+// (PlainDl1System, VwbDl1System, NarrowFrontDl1System), so the member calls
+// below resolve statically and inline.
+//
+// The loop semantics are exactly InOrderCore::run's (see in_order_core.cpp —
+// tests/test_fastpath holds the two equal field-for-field); the differences
+// are mechanical:
+//  * ops come pre-decoded (DecodedOp, 16 bytes, spans precomputed);
+//  * single-granule accesses — the overwhelming majority — take the
+//    organization's load_single/store_single entry, skipping the
+//    first/last-granule loop setup;
+//  * there is no observer hook (use InOrderCore::run_observed to watch a run).
+#pragma once
+
+#include "sttsim/cpu/decoded_trace.hpp"
+#include "sttsim/sim/stats.hpp"
+
+namespace sttsim::cpu {
+
+template <class Dl1>
+sim::RunStats replay_decoded(const DecodedTrace& trace, Dl1& dl1) {
+  sim::CoreStats core;
+  sim::Cycle now = 0;
+  const unsigned shift = dl1.granule_shift();
+  const DecodedOp* ops = trace.ops.data();
+  const std::size_t n = trace.ops.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const DecodedOp& op = ops[i];
+    switch (op.kind) {
+      case OpKind::kExec: {
+        now += op.count;
+        core.instructions += op.count;
+        core.exec_cycles += op.count;
+        break;
+      }
+      case OpKind::kLoad: {
+        core.instructions += 1;
+        core.mem_instructions += 1;
+        const sim::Cycle issue_done = now + 1;
+        const sim::Cycle data = decoded_span(op, shift) == 1
+                                    ? dl1.load_single(op.addr, now)
+                                    : dl1.load(op.addr, op.size, now);
+        const sim::Cycle done = data > issue_done ? data : issue_done;
+        core.read_stall_cycles += done - issue_done;
+        core.exec_cycles += 1;  // the issue cycle itself
+        now = done;
+        break;
+      }
+      case OpKind::kStore: {
+        core.instructions += 1;
+        core.mem_instructions += 1;
+        const sim::Cycle issue_done = now + 1;
+        const sim::Cycle accepted = decoded_span(op, shift) == 1
+                                        ? dl1.store_single(op.addr, now)
+                                        : dl1.store(op.addr, op.size, now);
+        const sim::Cycle done = accepted > issue_done ? accepted : issue_done;
+        core.write_stall_cycles += done - issue_done;
+        core.exec_cycles += 1;
+        now = done;
+        break;
+      }
+      case OpKind::kPrefetch: {
+        core.instructions += 1;
+        dl1.prefetch(op.addr, now);
+        core.exec_cycles += 1;
+        now += 1;
+        break;
+      }
+    }
+  }
+  core.total_cycles = now;
+  sim::RunStats out;
+  out.core = core;
+  out.mem = dl1.stats();
+  return out;
+}
+
+}  // namespace sttsim::cpu

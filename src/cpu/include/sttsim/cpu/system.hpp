@@ -10,6 +10,7 @@
 
 #include "sttsim/core/dl1_system.hpp"
 #include "sttsim/core/vwb.hpp"
+#include "sttsim/cpu/decoded_trace.hpp"
 #include "sttsim/cpu/in_order_core.hpp"
 #include "sttsim/cpu/trace.hpp"
 #include "sttsim/mem/l2_system.hpp"
@@ -80,10 +81,20 @@ class System {
   System(const SystemConfig& config, Prevalidated);
 
   /// Runs a trace on a *fresh* system state (cold caches) and returns stats.
+  /// Replays through the devirtualized fast path (replay.hpp), decoding the
+  /// trace on the fly; callers replaying the same trace repeatedly should
+  /// decode once and use the DecodedTrace overload.
   sim::RunStats run(const Trace& trace);
+  sim::RunStats run(const DecodedTrace& trace);
 
   /// Runs without resetting (for warm-up composition in tests).
   sim::RunStats run_warm(const Trace& trace);
+  sim::RunStats run_warm(const DecodedTrace& trace);
+
+  /// Runs on a fresh state through InOrderCore's generic virtual-dispatch
+  /// loop — the reference the fast path is held byte-identical to
+  /// (tests/test_fastpath) and the fallback oracle for debugging.
+  sim::RunStats run_reference(const Trace& trace);
 
   const SystemConfig& config() const { return cfg_; }
   core::Dl1System& dl1() { return *dl1_; }
@@ -93,11 +104,16 @@ class System {
   void reset();
 
  private:
+  /// Replays a decoded trace via the organization-specialized loop selected
+  /// at build() time (compile-time dispatch, one indirect call per run).
+  using FastRunFn = sim::RunStats (*)(const DecodedTrace&, core::Dl1System&);
+
   void build();
 
   SystemConfig cfg_;
   std::unique_ptr<mem::L2System> l2_;
   std::unique_ptr<core::Dl1System> dl1_;
+  FastRunFn fast_run_ = nullptr;
   InOrderCore core_;
 };
 

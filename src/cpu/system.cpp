@@ -5,9 +5,21 @@
 #include "sttsim/alt/narrow_front_dl1.hpp"
 #include "sttsim/core/plain_dl1.hpp"
 #include "sttsim/core/vwb_dl1.hpp"
+#include "sttsim/cpu/replay.hpp"
 #include "sttsim/util/check.hpp"
 
 namespace sttsim::cpu {
+
+namespace {
+
+// One fast-run instantiation per concrete organization class. The cast is
+// safe by construction: build() pairs each dl1_ with the matching function.
+template <class Concrete>
+sim::RunStats fast_run_impl(const DecodedTrace& trace, core::Dl1System& dl1) {
+  return replay_decoded(trace, static_cast<Concrete&>(dl1));
+}
+
+}  // namespace
 
 const char* to_string(Dl1Organization org) {
   switch (org) {
@@ -104,6 +116,7 @@ void System::build() {
     case Dl1Organization::kNvmDropIn: {
       dl1_ = std::make_unique<core::PlainDl1System>(
           to_string(cfg_.organization), dl1, l2_.get());
+      fast_run_ = &fast_run_impl<core::PlainDl1System>;
       break;
     }
     case Dl1Organization::kNvmVwb: {
@@ -122,30 +135,36 @@ void System::build() {
         n.mshr_entries = cfg_.mshr_entries;
         dl1_ = std::make_unique<alt::NarrowFrontDl1System>(
             to_string(cfg_.organization), n, l2_.get());
+        fast_run_ = &fast_run_impl<alt::NarrowFrontDl1System>;
       } else {
         dl1_ = std::make_unique<core::VwbDl1System>(
             to_string(cfg_.organization), v, l2_.get());
+        fast_run_ = &fast_run_impl<core::VwbDl1System>;
       }
       break;
     }
     case Dl1Organization::kNvmL0: {
       dl1_ = std::make_unique<alt::NarrowFrontDl1System>(
           to_string(cfg_.organization), alt::make_l0_config(dl1), l2_.get());
+      fast_run_ = &fast_run_impl<alt::NarrowFrontDl1System>;
       break;
     }
     case Dl1Organization::kNvmEmshr: {
       dl1_ = std::make_unique<alt::NarrowFrontDl1System>(
           to_string(cfg_.organization), alt::make_emshr_config(dl1),
           l2_.get());
+      fast_run_ = &fast_run_impl<alt::NarrowFrontDl1System>;
       break;
     }
     case Dl1Organization::kNvmWriteBuf: {
       dl1_ = std::make_unique<alt::NarrowFrontDl1System>(
           to_string(cfg_.organization), alt::make_write_buffer_config(dl1),
           l2_.get());
+      fast_run_ = &fast_run_impl<alt::NarrowFrontDl1System>;
       break;
     }
   }
+  STTSIM_CHECK(fast_run_ != nullptr);
 }
 
 sim::RunStats System::run(const Trace& trace) {
@@ -153,7 +172,21 @@ sim::RunStats System::run(const Trace& trace) {
   return run_warm(trace);
 }
 
+sim::RunStats System::run(const DecodedTrace& trace) {
+  reset();
+  return run_warm(trace);
+}
+
 sim::RunStats System::run_warm(const Trace& trace) {
+  return fast_run_(decode(trace), *dl1_);
+}
+
+sim::RunStats System::run_warm(const DecodedTrace& trace) {
+  return fast_run_(trace, *dl1_);
+}
+
+sim::RunStats System::run_reference(const Trace& trace) {
+  reset();
   return core_.run(trace, *dl1_);
 }
 

@@ -37,24 +37,27 @@ bool TraceCache::KeyLess::less(const KeyView& a, const KeyView& b) {
   return codegen_tuple(*a.opts) < codegen_tuple(*b.opts);
 }
 
-const cpu::Trace& TraceCache::get(const workloads::Kernel& kernel,
-                                  const workloads::CodegenOptions& opts) {
+const CachedWorkload& TraceCache::get_workload(
+    const workloads::Kernel& kernel, const workloads::CodegenOptions& opts) {
   const KeyView lookup{kernel.name, &opts};
   return cache_.get_or_generate(
       lookup, [&] { return Key{kernel.name, opts}; },
       [&] {
         exec::Telemetry::instance().count_trace_generated();
-        return kernel.generate(opts);
+        CachedWorkload w;
+        w.trace = kernel.generate(opts);
+        w.decoded = cpu::decode(w.trace);
+        return w;
       });
 }
 
 sim::RunStats run_kernel(TraceCache& cache, const workloads::Kernel& kernel,
                          const cpu::SystemConfig& config,
                          const workloads::CodegenOptions& opts) {
-  const cpu::Trace& trace = cache.get(kernel, opts);
+  const CachedWorkload& workload = cache.get_workload(kernel, opts);
   cpu::System system(config);
-  const sim::RunStats stats = system.run(trace);
-  exec::Telemetry::instance().count_simulation(trace.size());
+  const sim::RunStats stats = system.run(workload.decoded);
+  exec::Telemetry::instance().count_simulation(workload.decoded.size());
   return stats;
 }
 
@@ -70,7 +73,7 @@ std::vector<std::vector<sim::RunStats>> run_grid(
       pool.map(jobs.size() * n_kernels, [&](std::size_t idx) {
         const SuiteJob& job = jobs[idx / n_kernels];
         const workloads::Kernel& kernel = kernels[idx % n_kernels];
-        const cpu::Trace& trace = cache.get(kernel, job.opts);
+        const cpu::DecodedTrace& trace = cache.get_decoded(kernel, job.opts);
         cpu::System system(job.config, cpu::System::kPrevalidated);
         const sim::RunStats stats = system.run(trace);
         exec::Telemetry::instance().count_simulation(trace.size());

@@ -26,16 +26,34 @@ double penalty_pct(const sim::RunStats& variant,
 double gain_pct(const sim::RunStats& unoptimized,
                 const sim::RunStats& optimized);
 
+/// A memoized workload: the raw generated trace plus its replay-optimized
+/// decoded form (cpu::decode), produced once and shared read-only across
+/// every grid point that replays this (kernel, codegen).
+struct CachedWorkload {
+  cpu::Trace trace;
+  cpu::DecodedTrace decoded;
+};
+
 /// Memoizes generated traces per (kernel, codegen) so multi-figure bench
-/// binaries do not regenerate identical traces. Concurrency-safe: a
-/// shared_mutex guards the index and a per-key once-latch guarantees each
-/// trace is generated exactly once even when many parallel jobs request it
-/// simultaneously. Cache hits allocate nothing (heterogeneous lookup by
-/// kernel-name view + codegen fields; no key string is built).
+/// binaries do not regenerate identical traces — and decodes each exactly
+/// once, so grid replays all start from the packed representation.
+/// Concurrency-safe: a shared_mutex guards the index and a per-key
+/// once-latch guarantees each trace is generated exactly once even when many
+/// parallel jobs request it simultaneously. Cache hits allocate nothing
+/// (heterogeneous lookup by kernel-name view + codegen fields; no key string
+/// is built).
 class TraceCache {
  public:
+  const CachedWorkload& get_workload(const workloads::Kernel& kernel,
+                                     const workloads::CodegenOptions& opts);
   const cpu::Trace& get(const workloads::Kernel& kernel,
-                        const workloads::CodegenOptions& opts);
+                        const workloads::CodegenOptions& opts) {
+    return get_workload(kernel, opts).trace;
+  }
+  const cpu::DecodedTrace& get_decoded(const workloads::Kernel& kernel,
+                                       const workloads::CodegenOptions& opts) {
+    return get_workload(kernel, opts).decoded;
+  }
 
   std::size_t entries() const { return cache_.entries(); }
 
@@ -59,7 +77,7 @@ class TraceCache {
     }
   };
 
-  exec::ConcurrentMemoCache<Key, cpu::Trace, KeyLess> cache_;
+  exec::ConcurrentMemoCache<Key, CachedWorkload, KeyLess> cache_;
 };
 
 /// Runs one kernel on one system configuration with the given codegen.

@@ -34,39 +34,40 @@ void FillBuffer::insert(Addr line, sim::Cycle ready) {
       if (s.lru < slot->lru) slot = &s;
     }
   }
+  if (!slot->valid) live_ += 1;  // fresh slot (duplicate/LRU reuse keeps live_)
   slot->line = line;
   slot->ready = ready;
   slot->valid = true;
   slot->lru = ++clock_;
 }
 
-std::optional<sim::Cycle> FillBuffer::lookup(Addr line) const {
+std::optional<sim::Cycle> FillBuffer::lookup_slow(Addr line) const {
   const Slot* s = find(line);
   if (s == nullptr) return std::nullopt;
   return s->ready;
 }
 
-std::optional<sim::Cycle> FillBuffer::consume(Addr line) {
+std::optional<sim::Cycle> FillBuffer::consume_slow(Addr line) {
   Slot* s = find(line);
   if (s == nullptr) return std::nullopt;
   const sim::Cycle ready = s->ready;
   s->valid = false;
+  live_ -= 1;
   return ready;
 }
 
-void FillBuffer::invalidate(Addr line) {
+void FillBuffer::invalidate_slow(Addr line) {
   Slot* s = find(line);
-  if (s != nullptr) s->valid = false;
-}
-
-unsigned FillBuffer::occupancy() const {
-  return static_cast<unsigned>(std::count_if(
-      slots_.begin(), slots_.end(), [](const Slot& s) { return s.valid; }));
+  if (s != nullptr) {
+    s->valid = false;
+    live_ -= 1;
+  }
 }
 
 void FillBuffer::reset() {
   std::fill(slots_.begin(), slots_.end(), Slot{});
   clock_ = 0;
+  live_ = 0;
 }
 
 }  // namespace sttsim::mem

@@ -9,6 +9,10 @@
 //
 // Entries persist until consumed by a demand access, invalidated by a store
 // or an L1 eviction, or displaced (LRU) by a newer prefetch.
+//
+// The replay hot path consults this buffer on every L1 hit; traces without
+// prefetches keep it empty, so lookup/consume/invalidate are header-inline
+// and short-circuit on a live-entry counter before scanning any slot.
 #pragma once
 
 #include <cstdint>
@@ -29,16 +33,25 @@ class FillBuffer {
   void insert(Addr line, sim::Cycle ready);
 
   /// Non-destructive lookup: the data-ready cycle, if the line is present.
-  std::optional<sim::Cycle> lookup(Addr line) const;
+  std::optional<sim::Cycle> lookup(Addr line) const {
+    if (live_ == 0) return std::nullopt;
+    return lookup_slow(line);
+  }
 
   /// Consumes the entry (demand access moved the data out); returns the
   /// data-ready cycle, or nullopt if absent.
-  std::optional<sim::Cycle> consume(Addr line);
+  std::optional<sim::Cycle> consume(Addr line) {
+    if (live_ == 0) return std::nullopt;
+    return consume_slow(line);
+  }
 
   /// Drops the entry if present (store made it stale / L1 evicted the line).
-  void invalidate(Addr line);
+  void invalidate(Addr line) {
+    if (live_ == 0) return;
+    invalidate_slow(line);
+  }
 
-  unsigned occupancy() const;
+  unsigned occupancy() const { return live_; }
   unsigned capacity() const { return static_cast<unsigned>(slots_.size()); }
 
   void reset();
@@ -53,8 +66,13 @@ class FillBuffer {
   Slot* find(Addr line);
   const Slot* find(Addr line) const;
 
+  std::optional<sim::Cycle> lookup_slow(Addr line) const;
+  std::optional<sim::Cycle> consume_slow(Addr line);
+  void invalidate_slow(Addr line);
+
   std::vector<Slot> slots_;
   std::uint64_t clock_ = 0;
+  unsigned live_ = 0;  ///< number of valid slots
 };
 
 }  // namespace sttsim::mem

@@ -5,6 +5,10 @@
 // request. Also the substrate of the EMSHR comparison point (Komalan et al.,
 // DATE'14), where MSHR entries additionally serve data to the core after the
 // fill completes.
+//
+// lookup() sits on the narrow-front organizations' per-access hot path, so it
+// is header-inline and short-circuits when every fill has already completed
+// (now >= the latest completion ever allocated) without scanning a slot.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +27,10 @@ class Mshr {
   /// If `line` has an outstanding fill at `now`, returns its completion
   /// cycle; otherwise returns 0. (Cycle 0 is never a valid completion since
   /// allocation takes at least one cycle.)
-  sim::Cycle lookup(Addr line, sim::Cycle now) const;
+  sim::Cycle lookup(Addr line, sim::Cycle now) const {
+    if (now >= max_done_) return 0;  // every fill has completed
+    return lookup_slow(line, now);
+  }
 
   /// Allocates an entry for `line` whose fill would complete at `done`.
   /// If the file is full at `now` the allocation waits for the earliest
@@ -50,7 +57,12 @@ class Mshr {
     Addr line = 0;
     sim::Cycle done = 0;  ///< 0 = free
   };
+
+  sim::Cycle lookup_slow(Addr line, sim::Cycle now) const;
+
   std::vector<Slot> slots_;
+  sim::Cycle max_done_ = 0;  ///< latest completion ever allocated
+                             ///< (monotone upper bound; release keeps it)
 };
 
 }  // namespace sttsim::mem

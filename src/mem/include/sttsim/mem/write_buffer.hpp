@@ -11,48 +11,101 @@
 //   sim::Cycle slot = buf.accept(now);          // backpressure
 //   sim::Grant g = banks.acquire(addr, slot, write_cycles);
 //   buf.commit(g.done);                          // entry drains at g.done
+//
+// Every store in a replay passes through accept()/commit(), so the buffer is
+// a flat fixed array of drain times scanned in place (4-8 entries) instead of
+// a priority queue — no heap maintenance or allocation on the hot path, and
+// the whole protocol is header-inline.
 #pragma once
 
-#include <queue>
 #include <vector>
 
 #include "sttsim/sim/cycle.hpp"
+#include "sttsim/util/check.hpp"
 
 namespace sttsim::mem {
 
 class WriteBuffer {
  public:
-  explicit WriteBuffer(unsigned depth);
+  explicit WriteBuffer(unsigned depth) : depth_(depth) {
+    if (depth == 0) throw ConfigError("write buffer depth must be >= 1");
+    entries_.resize(depth);
+  }
 
   /// Cycle (>= now) at which a slot is available for a new entry. If the
   /// buffer is full at `now`, this is when the earliest-draining entry
   /// completes. Does not yet occupy the slot; follow with commit().
-  sim::Cycle accept(sim::Cycle now);
+  sim::Cycle accept(sim::Cycle now) {
+    retire(now);
+    if (live_ < depth_) return now;
+    const sim::Cycle available = min_done();
+    retire(available);
+    return available;
+  }
 
   /// Occupies the slot granted by the immediately preceding accept(); the
   /// entry drains (frees its slot) at `done`.
-  void commit(sim::Cycle done);
+  void commit(sim::Cycle done) {
+    STTSIM_CHECK(live_ < depth_);
+    for (Entry& e : entries_) {
+      if (!e.valid) {
+        e.valid = true;
+        e.done = done;
+        break;
+      }
+    }
+    live_ += 1;
+    if (done > max_done_) max_done_ = done;
+  }
 
   /// Entries still in flight at `now`.
-  unsigned occupancy(sim::Cycle now) const;
+  unsigned occupancy(sim::Cycle now) const {
+    unsigned n = 0;
+    for (const Entry& e : entries_) {
+      if (e.valid && e.done > now) ++n;
+    }
+    return n;
+  }
 
   /// Cycle by which everything currently queued has drained (0 if empty).
-  sim::Cycle drained_by() const;
+  sim::Cycle drained_by() const { return live_ == 0 ? 0 : max_done_; }
 
   unsigned depth() const { return depth_; }
 
-  void reset();
+  void reset() {
+    for (Entry& e : entries_) e = Entry{};
+    live_ = 0;
+    max_done_ = 0;
+  }
 
  private:
-  void retire(sim::Cycle now);
+  struct Entry {
+    sim::Cycle done = 0;
+    bool valid = false;
+  };
+
+  void retire(sim::Cycle now) {
+    if (live_ == 0) return;
+    for (Entry& e : entries_) {
+      if (e.valid && e.done <= now) {
+        e.valid = false;
+        live_ -= 1;
+      }
+    }
+  }
+
+  sim::Cycle min_done() const {
+    sim::Cycle best = max_done_;
+    for (const Entry& e : entries_) {
+      if (e.valid && e.done < best) best = e.done;
+    }
+    return best;
+  }
 
   unsigned depth_;
-  // Min-heap of drain-completion cycles (completions can be out of order
-  // when entries drain through different banks).
-  std::priority_queue<sim::Cycle, std::vector<sim::Cycle>,
-                      std::greater<sim::Cycle>>
-      in_flight_;
-  sim::Cycle max_done_ = 0;
+  std::vector<Entry> entries_;
+  unsigned live_ = 0;
+  sim::Cycle max_done_ = 0;  ///< latest committed drain (monotone)
 };
 
 }  // namespace sttsim::mem

@@ -11,7 +11,7 @@ Mshr::Mshr(unsigned entries) {
   slots_.resize(entries);
 }
 
-sim::Cycle Mshr::lookup(Addr line, sim::Cycle now) const {
+sim::Cycle Mshr::lookup_slow(Addr line, sim::Cycle now) const {
   for (const Slot& s : slots_) {
     if (s.done > now && s.line == line) return s.done;
   }
@@ -20,6 +20,7 @@ sim::Cycle Mshr::lookup(Addr line, sim::Cycle now) const {
 
 sim::Cycle Mshr::allocate(Addr line, sim::Cycle now, sim::Cycle done) {
   STTSIM_CHECK(lookup(line, now) == 0);
+  max_done_ = std::max(max_done_, done);
   // Free slot?
   for (Slot& s : slots_) {
     if (s.done <= now) {
@@ -36,6 +37,7 @@ sim::Cycle Mshr::allocate(Addr line, sim::Cycle now, sim::Cycle done) {
   const sim::Cycles extra = earliest->done - now;
   earliest->line = line;
   earliest->done = done + extra;
+  max_done_ = std::max(max_done_, earliest->done);
   return earliest->done;
 }
 
@@ -53,6 +55,7 @@ unsigned Mshr::occupancy(sim::Cycle now) const {
 
 void Mshr::reset() {
   std::fill(slots_.begin(), slots_.end(), Slot{});
+  max_done_ = 0;
 }
 
 }  // namespace sttsim::mem

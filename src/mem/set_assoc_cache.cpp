@@ -28,125 +28,96 @@ void CacheGeometry::validate() const {
 
 SetAssocCache::SetAssocCache(const CacheGeometry& geometry) : geom_(geometry) {
   geom_.validate();
-  lines_.resize(geom_.num_lines());
-}
-
-std::uint64_t SetAssocCache::set_index(Addr addr) const {
-  return (addr / geom_.line_bytes) & (geom_.num_sets() - 1);
-}
-
-Addr SetAssocCache::tag_of(Addr addr) const {
-  return addr / geom_.line_bytes / geom_.num_sets();
-}
-
-SetAssocCache::Line* SetAssocCache::find(Addr addr) {
-  const std::uint64_t set = set_index(addr);
-  const Addr tag = tag_of(addr);
-  Line* base = &lines_[set * geom_.associativity];
-  for (unsigned w = 0; w < geom_.associativity; ++w) {
-    if (base[w].valid && base[w].tag == tag) return &base[w];
-  }
-  return nullptr;
-}
-
-const SetAssocCache::Line* SetAssocCache::find(Addr addr) const {
-  return const_cast<SetAssocCache*>(this)->find(addr);
-}
-
-bool SetAssocCache::probe(Addr addr) const { return find(addr) != nullptr; }
-
-bool SetAssocCache::access(Addr addr, bool is_write) {
-  Line* line = find(addr);
-  if (line == nullptr) return false;
-  line->lru = ++lru_clock_;
-  if (is_write) {
-    line->dirty = true;
-    line->writes += 1;
-  }
-  return true;
+  assoc_ = geom_.associativity;
+  line_shift_ = log2_exact(geom_.line_bytes);
+  tag_shift_ = line_shift_ + log2_exact(geom_.num_sets());
+  set_mask_ = geom_.num_sets() - 1;
+  const std::size_t n = geom_.num_lines();
+  tags_.assign(n, kInvalidTag);
+  lru_.assign(n, 0);
+  writes_.assign(n, 0);
+  dirty_.assign(n, 0);
 }
 
 FillOutcome SetAssocCache::fill(Addr addr, bool dirty) {
-  STTSIM_CHECK(find(addr) == nullptr);
-  const std::uint64_t set = set_index(addr);
-  Line* base = &lines_[set * geom_.associativity];
-  // Prefer an invalid way; otherwise evict true-LRU.
-  Line* victim = &base[0];
-  for (unsigned w = 0; w < geom_.associativity; ++w) {
-    if (!base[w].valid) {
-      victim = &base[w];
+  STTSIM_CHECK(find_way(addr) < 0);
+  const std::size_t base = set_index(addr) * assoc_;
+  // Prefer an invalid way; otherwise evict true-LRU (first way on ties).
+  std::size_t victim = base;
+  for (unsigned w = 0; w < assoc_; ++w) {
+    if (tags_[base + w] == kInvalidTag) {
+      victim = base + w;
       break;
     }
-    if (base[w].lru < victim->lru) victim = &base[w];
+    if (lru_[base + w] < lru_[victim]) victim = base + w;
   }
   FillOutcome out;
-  if (victim->valid) {
+  if (tags_[victim] != kInvalidTag) {
     out.victim_valid = true;
-    out.victim_dirty = victim->dirty;
+    out.victim_dirty = dirty_[victim] != 0;
     out.victim_addr =
-        (victim->tag * geom_.num_sets() + set) * geom_.line_bytes;
+        (tags_[victim] << tag_shift_) | (set_index(addr) << line_shift_);
   }
-  victim->tag = tag_of(addr);
-  victim->valid = true;
-  victim->dirty = dirty;
-  victim->lru = ++lru_clock_;
-  victim->writes += 1;  // the fill writes the frame
+  tags_[victim] = tag_of(addr);
+  dirty_[victim] = dirty ? 1 : 0;
+  lru_[victim] = ++lru_clock_;
+  writes_[victim] += 1;  // the fill writes the frame
   return out;
 }
 
 bool SetAssocCache::invalidate(Addr addr) {
-  Line* line = find(addr);
-  if (line == nullptr) return false;
-  const bool was_dirty = line->dirty;
-  line->valid = false;
-  line->dirty = false;
+  const std::ptrdiff_t i = find_way(addr);
+  if (i < 0) return false;
+  const std::size_t w = static_cast<std::size_t>(i);
+  const bool was_dirty = dirty_[w] != 0;
+  tags_[w] = kInvalidTag;
+  dirty_[w] = 0;
   return was_dirty;
 }
 
-bool SetAssocCache::is_dirty(Addr addr) const {
-  const Line* line = find(addr);
-  return line != nullptr && line->dirty;
-}
-
 void SetAssocCache::mark_dirty(Addr addr) {
-  Line* line = find(addr);
-  STTSIM_CHECK(line != nullptr);
-  line->dirty = true;
-  line->writes += 1;
+  const std::ptrdiff_t i = find_way(addr);
+  STTSIM_CHECK(i >= 0);
+  dirty_[static_cast<std::size_t>(i)] = 1;
+  writes_[static_cast<std::size_t>(i)] += 1;
 }
 
 std::uint64_t SetAssocCache::valid_lines() const {
   return static_cast<std::uint64_t>(
-      std::count_if(lines_.begin(), lines_.end(),
-                    [](const Line& l) { return l.valid; }));
+      std::count_if(tags_.begin(), tags_.end(),
+                    [](Addr t) { return t != kInvalidTag; }));
 }
 
 std::uint64_t SetAssocCache::frame_writes(Addr addr) const {
-  if (const Line* line = find(addr); line != nullptr) return line->writes;
+  if (const std::ptrdiff_t i = find_way(addr); i >= 0) {
+    return writes_[static_cast<std::size_t>(i)];
+  }
   // Line absent: report the hottest frame of its set.
-  const std::uint64_t set = set_index(addr);
+  const std::size_t base = set_index(addr) * assoc_;
   std::uint64_t best = 0;
-  const Line* base = &lines_[set * geom_.associativity];
-  for (unsigned w = 0; w < geom_.associativity; ++w) {
-    best = std::max(best, base[w].writes);
+  for (unsigned w = 0; w < assoc_; ++w) {
+    best = std::max(best, writes_[base + w]);
   }
   return best;
 }
 
 std::uint64_t SetAssocCache::max_frame_writes() const {
   std::uint64_t best = 0;
-  for (const Line& l : lines_) best = std::max(best, l.writes);
+  for (const std::uint64_t w : writes_) best = std::max(best, w);
   return best;
 }
 
 std::uint64_t SetAssocCache::total_writes() const {
   std::uint64_t total = 0;
-  for (const Line& l : lines_) total += l.writes;
+  for (const std::uint64_t w : writes_) total += w;
   return total;
 }
 
 void SetAssocCache::reset() {
-  std::fill(lines_.begin(), lines_.end(), Line{});
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  std::fill(writes_.begin(), writes_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
   lru_clock_ = 0;
 }
 

@@ -26,8 +26,15 @@ struct Grant {
 class ResourceTimeline {
  public:
   /// Occupies the resource for `duration` cycles, starting no earlier than
-  /// `earliest`. Returns the grant window.
-  Grant acquire(Cycle earliest, Cycles duration);
+  /// `earliest`. Returns the grant window. (Header-inline: this sits under
+  /// every array/bank/port access in the replay hot loop.)
+  Grant acquire(Cycle earliest, Cycles duration) {
+    Grant g;
+    g.start = earliest > busy_until_ ? earliest : busy_until_;
+    g.done = g.start + duration;
+    busy_until_ = g.done;
+    return g;
+  }
 
   /// Cycle at which the resource next becomes free.
   Cycle free_at() const { return busy_until_; }
@@ -53,17 +60,21 @@ class BankSet {
   unsigned num_banks() const { return static_cast<unsigned>(banks_.size()); }
 
   /// Bank index servicing byte address `addr`.
-  unsigned bank_of(Addr addr) const;
+  unsigned bank_of(Addr addr) const {
+    return static_cast<unsigned>((addr >> line_shift_) & bank_mask_);
+  }
 
   /// Occupies the bank that services `addr` for `duration` cycles starting no
   /// earlier than `earliest`.
-  Grant acquire(Addr addr, Cycle earliest, Cycles duration);
+  Grant acquire(Addr addr, Cycle earliest, Cycles duration) {
+    return banks_[bank_of(addr)].acquire(earliest, duration);
+  }
 
   /// Occupies a specific bank.
   Grant acquire_bank(unsigned bank, Cycle earliest, Cycles duration);
 
   /// Cycle at which the bank servicing `addr` becomes free.
-  Cycle free_at(Addr addr) const;
+  Cycle free_at(Addr addr) const { return banks_[bank_of(addr)].free_at(); }
 
   void reset();
 

@@ -1,18 +1,8 @@
 #include "sttsim/sim/resource.hpp"
 
-#include <algorithm>
-
 #include "sttsim/util/check.hpp"
 
 namespace sttsim::sim {
-
-Grant ResourceTimeline::acquire(Cycle earliest, Cycles duration) {
-  Grant g;
-  g.start = std::max(earliest, busy_until_);
-  g.done = g.start + duration;
-  busy_until_ = g.done;
-  return g;
-}
 
 BankSet::BankSet(unsigned num_banks, std::uint64_t line_bytes) {
   if (num_banks == 0 || !is_pow2(num_banks)) {
@@ -26,21 +16,9 @@ BankSet::BankSet(unsigned num_banks, std::uint64_t line_bytes) {
   bank_mask_ = num_banks - 1;
 }
 
-unsigned BankSet::bank_of(Addr addr) const {
-  return static_cast<unsigned>((addr >> line_shift_) & bank_mask_);
-}
-
-Grant BankSet::acquire(Addr addr, Cycle earliest, Cycles duration) {
-  return banks_[bank_of(addr)].acquire(earliest, duration);
-}
-
 Grant BankSet::acquire_bank(unsigned bank, Cycle earliest, Cycles duration) {
   STTSIM_CHECK(bank < banks_.size());
   return banks_[bank].acquire(earliest, duration);
-}
-
-Cycle BankSet::free_at(Addr addr) const {
-  return banks_[bank_of(addr)].free_at();
 }
 
 void BankSet::reset() {

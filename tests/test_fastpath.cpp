@@ -1,0 +1,157 @@
+// The devirtualized replay fast path (cpu/replay.hpp + decoded traces) must
+// be observationally identical to InOrderCore's generic virtual-dispatch
+// loop: same cycles, same stall breakdown, same memory-hierarchy counters,
+// for every DL1 organization. These tests pin that equivalence on randomized
+// trace campaigns, and pin the decoded-trace representation itself
+// (decode/reassemble round trip, precomputed spans).
+#include <gtest/gtest.h>
+
+#include "sttsim/cpu/decoded_trace.hpp"
+#include "sttsim/cpu/system.hpp"
+#include "sttsim/util/rng.hpp"
+#include "sttsim/workloads/kernels.hpp"
+#include "trace_util.hpp"
+
+namespace {
+
+using namespace sttsim;
+
+const cpu::Dl1Organization kAllOrgs[] = {
+    cpu::Dl1Organization::kSramBaseline, cpu::Dl1Organization::kNvmDropIn,
+    cpu::Dl1Organization::kNvmVwb,       cpu::Dl1Organization::kNvmL0,
+    cpu::Dl1Organization::kNvmEmshr,     cpu::Dl1Organization::kNvmWriteBuf};
+
+/// Every RunStats field, compared individually so a divergence names the
+/// counter that broke.
+void expect_identical(const sim::RunStats& fast, const sim::RunStats& ref,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  // Core.
+  EXPECT_EQ(fast.core.instructions, ref.core.instructions);
+  EXPECT_EQ(fast.core.mem_instructions, ref.core.mem_instructions);
+  EXPECT_EQ(fast.core.exec_cycles, ref.core.exec_cycles);
+  EXPECT_EQ(fast.core.read_stall_cycles, ref.core.read_stall_cycles);
+  EXPECT_EQ(fast.core.write_stall_cycles, ref.core.write_stall_cycles);
+  EXPECT_EQ(fast.core.structural_stall_cycles,
+            ref.core.structural_stall_cycles);
+  EXPECT_EQ(fast.core.total_cycles, ref.core.total_cycles);
+  // Memory hierarchy — all twenty counters.
+  EXPECT_EQ(fast.mem.loads, ref.mem.loads);
+  EXPECT_EQ(fast.mem.stores, ref.mem.stores);
+  EXPECT_EQ(fast.mem.prefetches, ref.mem.prefetches);
+  EXPECT_EQ(fast.mem.front_hits, ref.mem.front_hits);
+  EXPECT_EQ(fast.mem.front_misses, ref.mem.front_misses);
+  EXPECT_EQ(fast.mem.front_store_hits, ref.mem.front_store_hits);
+  EXPECT_EQ(fast.mem.promotions, ref.mem.promotions);
+  EXPECT_EQ(fast.mem.front_writebacks, ref.mem.front_writebacks);
+  EXPECT_EQ(fast.mem.prefetch_hits, ref.mem.prefetch_hits);
+  EXPECT_EQ(fast.mem.l1_read_hits, ref.mem.l1_read_hits);
+  EXPECT_EQ(fast.mem.l1_write_hits, ref.mem.l1_write_hits);
+  EXPECT_EQ(fast.mem.l1_misses, ref.mem.l1_misses);
+  EXPECT_EQ(fast.mem.l1_writebacks, ref.mem.l1_writebacks);
+  EXPECT_EQ(fast.mem.l2_hits, ref.mem.l2_hits);
+  EXPECT_EQ(fast.mem.l2_misses, ref.mem.l2_misses);
+  EXPECT_EQ(fast.mem.l1_array_reads, ref.mem.l1_array_reads);
+  EXPECT_EQ(fast.mem.l1_array_writes, ref.mem.l1_array_writes);
+  EXPECT_EQ(fast.mem.l2_array_reads, ref.mem.l2_array_reads);
+  EXPECT_EQ(fast.mem.l2_array_writes, ref.mem.l2_array_writes);
+  EXPECT_EQ(fast.mem.bank_conflict_cycles, ref.mem.bank_conflict_cycles);
+}
+
+TEST(FastPath, MatchesReferenceOnRandomTraces) {
+  for (const cpu::Dl1Organization org : kAllOrgs) {
+    cpu::SystemConfig cfg;
+    cfg.organization = org;
+    cpu::System system(cfg);
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      // Region sweeps from cache-resident to thrashing the 64 KiB DL1.
+      const Addr region = Addr{8} << (10 + 2 * (seed % 4));
+      const cpu::Trace trace = testutil::random_trace(seed, 4000, region);
+      const sim::RunStats fast = system.run(cpu::decode(trace));
+      const sim::RunStats ref = system.run_reference(trace);
+      expect_identical(fast, ref,
+                       std::string(cpu::to_string(org)) + " seed " +
+                           std::to_string(seed));
+    }
+  }
+}
+
+TEST(FastPath, MatchesReferenceOnKernelTrace) {
+  const cpu::Trace trace =
+      workloads::gemm(20, 20, 20, workloads::CodegenOptions::none());
+  const cpu::DecodedTrace decoded = cpu::decode(trace);
+  for (const cpu::Dl1Organization org : kAllOrgs) {
+    cpu::SystemConfig cfg;
+    cfg.organization = org;
+    cpu::System system(cfg);
+    // The same decoded trace is shared (read-only) across organizations,
+    // exactly as the grid's trace cache shares it across workers.
+    expect_identical(system.run(decoded), system.run_reference(trace),
+                     cpu::to_string(org));
+  }
+}
+
+TEST(FastPath, RawTraceOverloadDecodesOnTheFly) {
+  const cpu::Trace trace = testutil::random_trace(99, 2000, 64 * kKiB);
+  cpu::SystemConfig cfg;
+  cfg.organization = cpu::Dl1Organization::kNvmVwb;
+  cpu::System system(cfg);
+  expect_identical(system.run(trace), system.run_reference(trace),
+                   "run(Trace) overload");
+}
+
+TEST(DecodedTrace, RoundTripsExactly) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const cpu::Trace trace = testutil::random_trace(seed, 1000, 256 * kKiB);
+    const cpu::Trace back = cpu::reassemble(cpu::decode(trace));
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " op " +
+                   std::to_string(i));
+      EXPECT_EQ(back[i], trace[i]);
+    }
+  }
+}
+
+TEST(DecodedTrace, StoreValuesLandInSidecarInOrder) {
+  cpu::Trace trace;
+  trace.push_back(cpu::make_store(0x100, 8, 0xAA));
+  trace.push_back(cpu::make_load(0x200, 8));
+  trace.push_back(cpu::make_store(0x300, 4, 0xBB));
+  trace.push_back(cpu::make_exec(3));
+  trace.push_back(cpu::make_store(0x400, 2, 0xCC));
+  const cpu::DecodedTrace d = cpu::decode(trace);
+  ASSERT_EQ(d.store_values.size(), 3u);
+  EXPECT_EQ(d.store_values[0], 0xAAu);
+  EXPECT_EQ(d.store_values[1], 0xBBu);
+  EXPECT_EQ(d.store_values[2], 0xCCu);
+  EXPECT_EQ(d.ops.size(), trace.size());
+}
+
+TEST(DecodedTrace, PrecomputedSpansMatchOnTheFly) {
+  Rng rng(2024);
+  for (int i = 0; i < 2000; ++i) {
+    const Addr addr = rng.next_below(1 * kMiB);
+    const unsigned size = 1u + static_cast<unsigned>(rng.next_below(64));
+    cpu::Trace one{cpu::make_load(addr, size)};
+    const cpu::DecodedOp op = cpu::decode(one).ops[0];
+    for (const unsigned shift : {5u, 6u, 7u}) {
+      const Addr mask = (Addr{1} << shift) - 1;
+      const unsigned expected = static_cast<unsigned>(
+          ((addr & mask) + size - 1) >> shift) + 1;
+      EXPECT_EQ(cpu::decoded_span(op, shift), expected)
+          << "addr=" << addr << " size=" << size << " shift=" << shift;
+    }
+  }
+}
+
+TEST(DecodedTrace, ExecOpsCarryCountAndNoSpans) {
+  cpu::Trace trace{cpu::make_exec(17), cpu::make_prefetch(0x1234)};
+  const cpu::DecodedTrace d = cpu::decode(trace);
+  EXPECT_EQ(d.ops[0].count, 17u);
+  EXPECT_EQ(d.ops[0].kind, cpu::OpKind::kExec);
+  EXPECT_EQ(d.ops[1].kind, cpu::OpKind::kPrefetch);
+  EXPECT_TRUE(d.store_values.empty());
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Performance-regression guard: compares two BENCH_perf.json files (as
+// written by bench/perf_smoke) and exits nonzero when any tracked throughput
+// metric regressed by more than the tolerance.
+//
+//   perf_compare BASELINE.json CURRENT.json [--tolerance=0.20]
+//
+// Tracked metrics:
+//   * per-figure serial replay throughput  (figures[].serial.trace_ops_per_sec)
+//   * per-organization fast-path replay    (replay.organizations[].fast_ops_per_sec)
+//   * aggregate fast-path replay           (replay.fast_agg_ops_per_sec)
+//
+// Only metrics present in BOTH files are compared (a --quick baseline still
+// guards the figures it contains). The parser is deliberately minimal — it
+// understands exactly the flat key layout perf_smoke emits, keeping the tool
+// dependency-free.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Metric {
+  std::string name;   // e.g. "figure:fig1_dropin_penalty" or "replay:nvm-vwb"
+  double value = 0.0;
+};
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "perf_compare: cannot read %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Value of the first `"key": <number>` at or after `from`; -1 if absent.
+/// `end` bounds the search (npos = end of text).
+double number_after(const std::string& text, const std::string& key,
+                    std::size_t from, std::size_t end = std::string::npos) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t k = text.find(needle, from);
+  if (k == std::string::npos || (end != std::string::npos && k >= end)) {
+    return -1.0;
+  }
+  return std::strtod(text.c_str() + k + needle.size(), nullptr);
+}
+
+/// First `"key": "<string>"` at or after `from`; empty if absent.
+std::string string_after(const std::string& text, const std::string& key,
+                         std::size_t from) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t k = text.find(needle, from);
+  if (k == std::string::npos) return {};
+  const std::size_t start = k + needle.size();
+  const std::size_t stop = text.find('"', start);
+  if (stop == std::string::npos) return {};
+  return text.substr(start, stop - start);
+}
+
+/// Extracts the tracked metrics from one perf_smoke JSON dump.
+std::vector<Metric> extract(const std::string& text) {
+  std::vector<Metric> out;
+  // Figures: each entry is {"name": ..., "serial": {...}, "parallel": ...};
+  // the first trace_ops_per_sec after the name belongs to the serial run.
+  const std::size_t figures = text.find("\"figures\"");
+  const std::size_t replay = text.find("\"replay\"");
+  std::size_t pos = figures;
+  while (pos != std::string::npos) {
+    const std::size_t entry = text.find("{\"name\": \"", pos + 1);
+    if (entry == std::string::npos || (replay != std::string::npos &&
+                                       entry >= replay)) {
+      break;
+    }
+    const std::string name = string_after(text, "name", entry);
+    const double v = number_after(text, "trace_ops_per_sec", entry, replay);
+    if (!name.empty() && v >= 0.0) {
+      out.push_back(Metric{"figure:" + name, v});
+    }
+    pos = entry;
+  }
+  // Replay organizations.
+  pos = replay;
+  while (pos != std::string::npos) {
+    const std::size_t entry = text.find("{\"org\": \"", pos + 1);
+    if (entry == std::string::npos) break;
+    const std::string org = string_after(text, "org", entry);
+    const double v = number_after(text, "fast_ops_per_sec", entry);
+    if (!org.empty() && v >= 0.0) {
+      out.push_back(Metric{"replay:" + org, v});
+    }
+    pos = entry;
+  }
+  if (replay != std::string::npos) {
+    const double agg = number_after(text, "fast_agg_ops_per_sec", replay);
+    if (agg >= 0.0) out.push_back(Metric{"replay:aggregate", agg});
+  }
+  return out;
+}
+
+const Metric* find(const std::vector<Metric>& ms, const std::string& name) {
+  for (const Metric& m : ms) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double tolerance = 0.20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
+      tolerance = std::strtod(argv[i] + 12, nullptr);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      baseline_path = nullptr;
+      break;
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: perf_compare BASELINE.json CURRENT.json "
+                 "[--tolerance=0.20]\n");
+    return 2;
+  }
+
+  const std::vector<Metric> baseline = extract(slurp(baseline_path));
+  const std::vector<Metric> current = extract(slurp(current_path));
+
+  unsigned compared = 0;
+  unsigned regressed = 0;
+  for (const Metric& b : baseline) {
+    const Metric* c = find(current, b.name);
+    if (c == nullptr || b.value <= 0.0) continue;
+    compared += 1;
+    const double ratio = c->value / b.value;
+    const bool bad = ratio < 1.0 - tolerance;
+    regressed += bad ? 1 : 0;
+    std::printf("%-34s %12.3g -> %12.3g ops/s  %+6.1f%%%s\n", b.name.c_str(),
+                b.value, c->value, (ratio - 1.0) * 100.0,
+                bad ? "  [REGRESSION]" : "");
+  }
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "perf_compare: no common metrics between %s and %s\n",
+                 baseline_path, current_path);
+    return 2;
+  }
+  std::printf("%u metric(s) compared, %u regression(s) beyond %.0f%%\n",
+              compared, regressed, tolerance * 100.0);
+  return regressed == 0 ? 0 : 1;
+}
