@@ -1,11 +1,14 @@
 // Shared command-line handling for the figure benches.
 //
 // Usage of every fig binary:
-//   figN [--csv] [--kernels=a,b,c] [--jobs=N]
+//   figN [--csv] [--kernels=a,b,c] [--jobs=N] [--batch=K]
 // With no arguments the full 14-kernel suite is run and a fixed-width table
 // (matching the paper figure's bars, plus the AVERAGE bar) is printed.
 // --jobs sets the worker-pool width of the parallel experiment engine
 // (default: one per hardware thread; --jobs=1 is the serial path).
+// --batch sets the config-parallel batch width: each pool task replays one
+// compressed-trace pass over up to K same-class DL1 configurations
+// (default: 1 — the unbatched path; results are identical either way).
 #pragma once
 
 #include <cstdio>
@@ -22,7 +25,8 @@ namespace sttsim::benchcli {
 struct Options {
   bool csv = false;
   std::vector<std::string> kernels;
-  unsigned jobs = 0;  ///< 0 = hardware_concurrency
+  unsigned jobs = 0;   ///< 0 = hardware_concurrency
+  unsigned batch = 1;  ///< config-parallel lanes per grid task; 1 = unbatched
 };
 
 inline Options parse(int argc, char** argv) {
@@ -33,6 +37,9 @@ inline Options parse(int argc, char** argv) {
       o.csv = true;
     } else if (arg.rfind("--jobs=", 0) == 0) {
       o.jobs = static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      o.batch =
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 8, nullptr, 10));
     } else if (arg.rfind("--kernels=", 0) == 0) {
       std::string list = arg.substr(10);
       std::size_t pos = 0;
@@ -44,12 +51,15 @@ inline Options parse(int argc, char** argv) {
         pos = comma == std::string::npos ? comma : comma + 1;
       }
     } else {
-      std::fprintf(stderr, "usage: %s [--csv] [--kernels=a,b,c] [--jobs=N]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--csv] [--kernels=a,b,c] [--jobs=N] [--batch=K]\n",
+          argv[0]);
       std::exit(2);
     }
   }
   exec::set_default_jobs(o.jobs);
+  exec::set_default_batch(o.batch);
   return o;
 }
 

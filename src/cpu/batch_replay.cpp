@@ -1,0 +1,38 @@
+#include "sttsim/cpu/batch_replay.hpp"
+
+#include <algorithm>
+
+#include "sttsim/cpu/system.hpp"
+
+namespace sttsim::cpu {
+
+std::vector<std::vector<std::size_t>> partition_batches(
+    const std::vector<SystemConfig>& configs, unsigned width) {
+  width = std::clamp(width, 1u, kMaxBatchLanes);
+  // Three concrete classes (see System::build); bucket preserving input
+  // order, then chunk. Buckets are flushed in class order of first
+  // appearance so the partition is deterministic for a given input.
+  std::vector<Dl1ConcreteClass> seen;
+  std::vector<std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Dl1ConcreteClass cls = concrete_class(configs[i]);
+    std::size_t b = 0;
+    while (b < seen.size() && seen[b] != cls) ++b;
+    if (b == seen.size()) {
+      seen.push_back(cls);
+      by_class.emplace_back();
+    }
+    by_class[b].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> out;
+  for (const std::vector<std::size_t>& bucket : by_class) {
+    for (std::size_t at = 0; at < bucket.size(); at += width) {
+      const std::size_t end = std::min(bucket.size(), at + width);
+      out.emplace_back(bucket.begin() + static_cast<std::ptrdiff_t>(at),
+                       bucket.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
+  return out;
+}
+
+}  // namespace sttsim::cpu

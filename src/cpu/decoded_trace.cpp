@@ -2,16 +2,6 @@
 
 namespace sttsim::cpu {
 
-namespace {
-
-std::uint8_t span_of(Addr addr, unsigned size, unsigned shift) {
-  if (size == 0) return 1;
-  const Addr mask = (Addr{1} << shift) - 1;
-  return static_cast<std::uint8_t>((((addr & mask) + size - 1) >> shift) + 1);
-}
-
-}  // namespace
-
 DecodedTrace decode(const Trace& trace) {
   DecodedTrace out;
   out.ops.reserve(trace.size());
@@ -44,6 +34,92 @@ Trace reassemble(const DecodedTrace& decoded) {
     if (d.kind == OpKind::kStore) op.value = decoded.store_values[store++];
     out.push_back(op);
   }
+  return out;
+}
+
+namespace {
+
+/// Whether the compact (non-escape) encoding reproduces `op` exactly under
+/// the cursor's expansion rules. Anything else — zero-count exec bundles,
+/// memory ops with instruction counts, spans that disagree with the
+/// recomputation — takes the 17-byte escape so the round trip stays exact.
+bool compact_representable(const DecodedOp& op) {
+  if (op.kind == OpKind::kExec) {
+    return op.addr == 0 && op.size == 0 && op.span32 == 1 && op.span64 == 1 &&
+           op.count >= 1;
+  }
+  if (op.count != 1) return false;
+  if (op.kind == OpKind::kPrefetch) return op.span32 == 1 && op.span64 == 1;
+  return op.span32 == span_of(op.addr, op.size, 5) &&
+         op.span64 == span_of(op.addr, op.size, 6);
+}
+
+}  // namespace
+
+CompressedTrace compress(const DecodedTrace& decoded) {
+  CompressedTrace out;
+  out.op_count = decoded.ops.size();
+  out.store_values = decoded.store_values;
+  // ~2 bytes/op is typical for kernel traces; over-reserving slightly beats
+  // regrowing the stream.
+  out.bytes.reserve(decoded.ops.size() * 3);
+  Addr prev_addr = 0;
+  std::uint8_t prev_size = 0;
+  for (const DecodedOp& op : decoded.ops) {
+    if (!compact_representable(op)) {
+      out.bytes.push_back(detail::kCompressedEscape);
+      const std::size_t at = out.bytes.size();
+      out.bytes.resize(at + sizeof(DecodedOp));
+      std::memcpy(out.bytes.data() + at, &op, sizeof(DecodedOp));
+      if (op.kind != OpKind::kExec) {
+        prev_addr = op.addr;
+        prev_size = op.size;
+      }
+      continue;
+    }
+    if (op.kind == OpKind::kExec) {
+      if (op.count <= 63) {
+        out.bytes.push_back(static_cast<std::uint8_t>((op.count - 1u) << 2));
+      } else {
+        out.bytes.push_back(static_cast<std::uint8_t>(63u << 2));
+        detail::write_varint(out.bytes, op.count);
+      }
+      continue;
+    }
+    const std::uint64_t zz = detail::zigzag(
+        static_cast<std::int64_t>(op.addr - prev_addr));
+    const bool size_byte = op.size != prev_size;
+    std::uint8_t tag = static_cast<std::uint8_t>(op.kind) |
+                       (size_byte ? 4u : 0u);
+    tag |= static_cast<std::uint8_t>((zz < 31 ? zz : 31) << 3);
+    if (tag == detail::kCompressedEscape) {
+      // kPrefetch + size byte + varint marker collides with the escape tag
+      // (all bits set); emit the op verbatim instead. The cursor's escape
+      // path updates prev_addr/prev_size the same way this branch does.
+      out.bytes.push_back(detail::kCompressedEscape);
+      const std::size_t at = out.bytes.size();
+      out.bytes.resize(at + sizeof(DecodedOp));
+      std::memcpy(out.bytes.data() + at, &op, sizeof(DecodedOp));
+      prev_addr = op.addr;
+      prev_size = op.size;
+      continue;
+    }
+    out.bytes.push_back(tag);
+    if (size_byte) out.bytes.push_back(op.size);
+    if (zz >= 31) detail::write_varint(out.bytes, zz);
+    prev_addr = op.addr;
+    prev_size = op.size;
+  }
+  return out;
+}
+
+DecodedTrace decompress(const CompressedTrace& trace) {
+  DecodedTrace out;
+  out.ops.reserve(trace.size());
+  out.store_values = trace.store_values;
+  CompressedCursor cursor(trace);
+  DecodedOp op;
+  while (cursor.next(op)) out.ops.push_back(op);
   return out;
 }
 

@@ -1,0 +1,291 @@
+// Config-parallel batched replay — one decoded-trace pass drives many DL1
+// configurations.
+//
+// A figure sweep replays an identical (kernel × codegen) trace once per DL1
+// configuration; after PR 5 devirtualized the per-op dispatch, streaming the
+// trace through host memory once per grid point became the dominant repeated
+// cost — a 96³ gemm trace is 40+ MiB decoded, re-read from DRAM for every
+// configuration in the grid. This engine drives a batch of K independent DL1
+// instances of the same concrete organization class from ONE pass over the
+// shared op stream — a raw DecodedOp array, or its delta/RLE-compressed form
+// (CompressedCursor, ~2 bytes/op instead of 16) — with two schedules:
+//
+//  * Op-major, fixed-K (2..8 lanes sharing one granule shift — the common
+//    sweep shape): each op is fetched, kind-dispatched, and span-tested once
+//    for all K lanes; an exec bundle advances all K clocks with K register
+//    adds instead of K op fetches; the compile-time lane count keeps every
+//    lane's clock and stall counters in registers. Trace-determined counters
+//    (instructions, mem_instructions, exec_cycles) are accumulated once and
+//    broadcast.
+//  * Segment-major (any width up to 64, mixed geometries): the stream is
+//    drained once into a 64 KiB staging segment (or tiled in place when
+//    already decoded), then every lane replays the cache-hot segment back to
+//    back with the same template-specialized loop a solo replay uses
+//    (replay_segment), carrying per-lane state across segments in
+//    structure-of-arrays form.
+//
+// Inside each lane the tag compares (SetAssocCache's widened branchless way
+// compare, the VWB's mask-based base scan) are plain uint64 array compares
+// the compiler vectorizes (STTSIM_VEC_LOOP) — no intrinsics, correctness
+// never depends on autovectorization. Under either schedule lane i executes
+// exactly the call sequence a solo replay_decoded would issue, so results
+// are bit-identical to K independent runs (tests/test_batch_replay holds
+// this across all organizations, batch widths, and both trace forms).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "sttsim/cpu/decoded_trace.hpp"
+#include "sttsim/cpu/replay.hpp"
+#include "sttsim/sim/stats.hpp"
+#include "sttsim/util/check.hpp"
+
+namespace sttsim::cpu {
+
+struct SystemConfig;
+
+/// Widest supported batch (lane masks are one uint64).
+inline constexpr unsigned kMaxBatchLanes = 64;
+
+namespace detail {
+
+/// Ops staged per segment: 4096 × 16 B = 64 KiB, sized so one segment plus a
+/// few lanes' hot model state live in the host's near caches while the
+/// backing trace streams through exactly once.
+inline constexpr std::size_t kSegmentOps = 4096;
+
+/// Walks a DecodedTrace's op array (the uncompressed batch source).
+class DecodedOpSource {
+ public:
+  explicit DecodedOpSource(const DecodedTrace& trace)
+      : p_(trace.ops.data()), end_(p_ + trace.ops.size()) {}
+  bool next(DecodedOp& op) {
+    if (p_ == end_) return false;
+    op = *p_++;
+    return true;
+  }
+
+ private:
+  const DecodedOp* p_;
+  const DecodedOp* end_;
+};
+
+/// Op-major kernel for a compile-time lane count K over lanes sharing one
+/// granule shift — the common sweep shape. Each op is fetched, dispatched,
+/// and span-tested once for all K lanes, exec bundles advance all K clocks
+/// with K register adds, and the fixed trip counts let every lane's clock
+/// and stall counters live in registers instead of heap SoA slots. Lane i
+/// still observes exactly the solo call sequence.
+template <unsigned K, class Dl1, class Source>
+std::vector<sim::RunStats> replay_batch_fixed(Source src,
+                                              const std::vector<Dl1*>& lanes) {
+  std::array<Dl1*, K> ls;
+  for (unsigned i = 0; i < K; ++i) ls[i] = lanes[i];
+  const unsigned shift = ls[0]->granule_shift();
+  std::array<sim::Cycle, K> now{};
+  std::array<sim::Cycles, K> read_stall{};
+  std::array<sim::Cycles, K> write_stall{};
+  // Trace-determined counters are identical in every lane: accumulate once.
+  std::uint64_t instructions = 0;
+  std::uint64_t mem_instructions = 0;
+  sim::Cycles exec_cycles = 0;
+
+  DecodedOp op;
+  while (src.next(op)) {
+    switch (op.kind) {
+      case OpKind::kExec: {
+        instructions += op.count;
+        exec_cycles += op.count;
+        const sim::Cycle c = op.count;
+        for (unsigned i = 0; i < K; ++i) now[i] += c;
+        break;
+      }
+      case OpKind::kLoad: {
+        instructions += 1;
+        mem_instructions += 1;
+        exec_cycles += 1;
+        if (decoded_span(op, shift) == 1) {
+          for (unsigned i = 0; i < K; ++i) {
+            const sim::Cycle issue_done = now[i] + 1;
+            const sim::Cycle data = ls[i]->load_single(op.addr, now[i]);
+            const sim::Cycle done = data > issue_done ? data : issue_done;
+            read_stall[i] += done - issue_done;
+            now[i] = done;
+          }
+        } else {
+          for (unsigned i = 0; i < K; ++i) {
+            const sim::Cycle issue_done = now[i] + 1;
+            const sim::Cycle data = ls[i]->load(op.addr, op.size, now[i]);
+            const sim::Cycle done = data > issue_done ? data : issue_done;
+            read_stall[i] += done - issue_done;
+            now[i] = done;
+          }
+        }
+        break;
+      }
+      case OpKind::kStore: {
+        instructions += 1;
+        mem_instructions += 1;
+        exec_cycles += 1;
+        if (decoded_span(op, shift) == 1) {
+          for (unsigned i = 0; i < K; ++i) {
+            const sim::Cycle issue_done = now[i] + 1;
+            const sim::Cycle accepted = ls[i]->store_single(op.addr, now[i]);
+            const sim::Cycle done =
+                accepted > issue_done ? accepted : issue_done;
+            write_stall[i] += done - issue_done;
+            now[i] = done;
+          }
+        } else {
+          for (unsigned i = 0; i < K; ++i) {
+            const sim::Cycle issue_done = now[i] + 1;
+            const sim::Cycle accepted =
+                ls[i]->store(op.addr, op.size, now[i]);
+            const sim::Cycle done =
+                accepted > issue_done ? accepted : issue_done;
+            write_stall[i] += done - issue_done;
+            now[i] = done;
+          }
+        }
+        break;
+      }
+      case OpKind::kPrefetch: {
+        instructions += 1;
+        exec_cycles += 1;
+        for (unsigned i = 0; i < K; ++i) {
+          ls[i]->prefetch(op.addr, now[i]);
+          now[i] += 1;
+        }
+        break;
+      }
+    }
+  }
+
+  std::vector<sim::RunStats> out(K);
+  for (unsigned i = 0; i < K; ++i) {
+    out[i].core.instructions = instructions;
+    out[i].core.mem_instructions = mem_instructions;
+    out[i].core.exec_cycles = exec_cycles;
+    out[i].core.read_stall_cycles = read_stall[i];
+    out[i].core.write_stall_cycles = write_stall[i];
+    out[i].core.total_cycles = now[i];
+    out[i].mem = ls[i]->stats();
+  }
+  return out;
+}
+
+/// Fixed-K dispatch: picks the op-major kernel when the lane count has a
+/// specialization and all lanes share one granule shift; empty otherwise.
+template <class Dl1, class Source>
+std::vector<sim::RunStats> try_replay_batch_fixed(
+    Source&& src, const std::vector<Dl1*>& lanes) {
+  for (const Dl1* lane : lanes) {
+    if (lane->granule_shift() != lanes[0]->granule_shift()) return {};
+  }
+  switch (lanes.size()) {
+    case 2: return replay_batch_fixed<2, Dl1>(src, lanes);
+    case 3: return replay_batch_fixed<3, Dl1>(src, lanes);
+    case 4: return replay_batch_fixed<4, Dl1>(src, lanes);
+    case 5: return replay_batch_fixed<5, Dl1>(src, lanes);
+    case 6: return replay_batch_fixed<6, Dl1>(src, lanes);
+    case 7: return replay_batch_fixed<7, Dl1>(src, lanes);
+    case 8: return replay_batch_fixed<8, Dl1>(src, lanes);
+    default: return {};
+  }
+}
+
+/// Per-lane replay state carried across segments (structure-of-arrays):
+/// each lane's core counters and clock resume exactly where its previous
+/// segment left off, so the concatenation of segment replays is the same
+/// loop a solo replay_decoded runs.
+template <class Dl1>
+struct BatchState {
+  explicit BatchState(const std::vector<Dl1*>& lanes)
+      : k(lanes.size()), core(k), now(k, 0), shift(k) {
+    STTSIM_CHECK(k >= 1 && k <= kMaxBatchLanes);
+    for (std::size_t i = 0; i < k; ++i) shift[i] = lanes[i]->granule_shift();
+  }
+  std::vector<sim::RunStats> finish(const std::vector<Dl1*>& lanes) {
+    std::vector<sim::RunStats> out(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      core[i].total_cycles = now[i];
+      out[i].core = core[i];
+      out[i].mem = lanes[i]->stats();
+    }
+    return out;
+  }
+  std::size_t k;
+  std::vector<sim::CoreStats> core;
+  std::vector<sim::Cycle> now;
+  std::vector<unsigned> shift;
+};
+
+}  // namespace detail
+
+/// Replays one decoded trace through K lanes of the same concrete DL1
+/// organization in a single pass. Lane i's result is bit-identical to
+/// `replay_decoded(trace, *lanes[i])` on the same starting state. The op
+/// array is already contiguous, so lanes tile it in place — each 64 KiB
+/// window is streamed from backing memory once and replayed cache-hot by
+/// every lane.
+template <class Dl1>
+std::vector<sim::RunStats> replay_batch(const DecodedTrace& trace,
+                                        const std::vector<Dl1*>& lanes) {
+  STTSIM_CHECK(!lanes.empty() && lanes.size() <= kMaxBatchLanes);
+  if (auto out = detail::try_replay_batch_fixed(detail::DecodedOpSource(trace),
+                                                lanes);
+      !out.empty()) {
+    return out;
+  }
+  detail::BatchState<Dl1> st(lanes);
+  const DecodedOp* ops = trace.ops.data();
+  for (std::size_t at = 0, n = trace.ops.size(); at < n;
+       at += detail::kSegmentOps) {
+    const std::size_t m = std::min(detail::kSegmentOps, n - at);
+    for (std::size_t i = 0; i < st.k; ++i) {
+      replay_segment(ops + at, m, *lanes[i], st.shift[i], st.core[i],
+                     st.now[i]);
+    }
+  }
+  return st.finish(lanes);
+}
+
+/// Same, iterating the delta/RLE-compressed form: each segment is expanded
+/// once into a staging buffer (decode cost amortized over K lanes), and the
+/// pass streams ~2 bytes per op instead of 16.
+template <class Dl1>
+std::vector<sim::RunStats> replay_batch(const CompressedTrace& trace,
+                                        const std::vector<Dl1*>& lanes) {
+  STTSIM_CHECK(!lanes.empty() && lanes.size() <= kMaxBatchLanes);
+  if (auto out = detail::try_replay_batch_fixed(CompressedCursor(trace), lanes);
+      !out.empty()) {
+    return out;
+  }
+  detail::BatchState<Dl1> st(lanes);
+  CompressedCursor src(trace);
+  std::vector<DecodedOp> seg(detail::kSegmentOps);
+  for (;;) {
+    std::size_t m = 0;
+    while (m < detail::kSegmentOps && src.next(seg[m])) ++m;
+    if (m == 0) break;
+    for (std::size_t i = 0; i < st.k; ++i) {
+      replay_segment(seg.data(), m, *lanes[i], st.shift[i], st.core[i],
+                     st.now[i]);
+    }
+    if (m < detail::kSegmentOps) break;
+  }
+  return st.finish(lanes);
+}
+
+/// Splits the configurations of one grid group into homogeneous batch lane
+/// sets: indices into `configs`, grouped by concrete DL1 organization class
+/// (lanes of one batch must share the replay specialization), each group
+/// chunked to at most `width` lanes, original order preserved within and
+/// across chunks. `width` is clamped to [1, kMaxBatchLanes]. Configurations
+/// must already be validated.
+std::vector<std::vector<std::size_t>> partition_batches(
+    const std::vector<SystemConfig>& configs, unsigned width);
+
+}  // namespace sttsim::cpu

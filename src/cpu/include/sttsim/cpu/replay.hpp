@@ -24,13 +24,20 @@
 
 namespace sttsim::cpu {
 
+/// One resumable stretch of the replay loop: applies `[ops, ops + n)` to
+/// `dl1`, carrying the core timing state in `core`/`now`. replay_decoded is
+/// one call over the whole trace; the batched engine (cpu/batch_replay.hpp)
+/// calls it once per lane per L1-resident trace segment — both walk the
+/// exact same loop, so a segmented replay is bit-identical to a solo one.
 template <class Dl1>
-sim::RunStats replay_decoded(const DecodedTrace& trace, Dl1& dl1) {
-  sim::CoreStats core;
-  sim::Cycle now = 0;
-  const unsigned shift = dl1.granule_shift();
-  const DecodedOp* ops = trace.ops.data();
-  const std::size_t n = trace.ops.size();
+void replay_segment(const DecodedOp* ops, std::size_t n, Dl1& dl1,
+                    unsigned shift, sim::CoreStats& core_io,
+                    sim::Cycle& now_io) {
+  // Locals, not the caller's references: the counters and the clock must
+  // stay in registers across the loop, and through a reference the compiler
+  // would have to assume every dl1 stats write might alias them.
+  sim::CoreStats core = core_io;
+  sim::Cycle now = now_io;
   for (std::size_t i = 0; i < n; ++i) {
     const DecodedOp& op = ops[i];
     switch (op.kind) {
@@ -75,6 +82,16 @@ sim::RunStats replay_decoded(const DecodedTrace& trace, Dl1& dl1) {
       }
     }
   }
+  core_io = core;
+  now_io = now;
+}
+
+template <class Dl1>
+sim::RunStats replay_decoded(const DecodedTrace& trace, Dl1& dl1) {
+  sim::CoreStats core;
+  sim::Cycle now = 0;
+  replay_segment(trace.ops.data(), trace.ops.size(), dl1, dl1.granule_shift(),
+                 core, now);
   core.total_cycles = now;
   sim::RunStats out;
   out.core = core;

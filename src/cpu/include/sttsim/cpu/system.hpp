@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sttsim/core/dl1_system.hpp"
 #include "sttsim/core/vwb.hpp"
@@ -32,6 +33,16 @@ enum class Dl1Organization {
 };
 
 const char* to_string(Dl1Organization org);
+
+/// The concrete implementation class a SystemConfig maps onto. All six
+/// organizations resolve to one of three `final` classes; the batched
+/// replay engine may only co-schedule configurations of the same class
+/// (homogeneous batches share one template specialization of the loop).
+enum class Dl1ConcreteClass {
+  kPlain,        ///< core::PlainDl1System
+  kVwb,          ///< core::VwbDl1System
+  kNarrowFront,  ///< alt::NarrowFrontDl1System
+};
 
 struct SystemConfig {
   Dl1Organization organization = Dl1Organization::kSramBaseline;
@@ -68,6 +79,10 @@ struct SystemConfig {
   void validate() const;
 };
 
+/// The concrete DL1 class System::build would instantiate for `config`
+/// (without building anything). Precondition: `config` validates.
+Dl1ConcreteClass concrete_class(const SystemConfig& config);
+
 /// A fully-wired single-core platform.
 class System {
  public:
@@ -96,6 +111,18 @@ class System {
   /// (tests/test_fastpath) and the fallback oracle for debugging.
   sim::RunStats run_reference(const Trace& trace);
 
+  /// Config-parallel batched replay: one pass over `trace` drives every
+  /// system in `lanes` (each on a fresh state), returning stats in lane
+  /// order — bit-identical to lanes[i]->run(trace) for every i. All lanes
+  /// must share one concrete organization class (cpu::concrete_class;
+  /// cpu::partition_batches groups arbitrary config sets accordingly) and
+  /// there may be at most kMaxBatchLanes of them.
+  static std::vector<sim::RunStats> run_batch(const DecodedTrace& trace,
+                                              const std::vector<System*>& lanes);
+  /// Same, streaming the delta/RLE-compressed trace form.
+  static std::vector<sim::RunStats> run_batch(const CompressedTrace& trace,
+                                              const std::vector<System*>& lanes);
+
   const SystemConfig& config() const { return cfg_; }
   core::Dl1System& dl1() { return *dl1_; }
   mem::L2System& l2() { return *l2_; }
@@ -107,13 +134,25 @@ class System {
   /// Replays a decoded trace via the organization-specialized loop selected
   /// at build() time (compile-time dispatch, one indirect call per run).
   using FastRunFn = sim::RunStats (*)(const DecodedTrace&, core::Dl1System&);
+  /// Batched equivalents (one per trace form), likewise selected at build()
+  /// time; equal batch_run_ pointers certify class-homogeneous lanes.
+  using BatchRunFn = std::vector<sim::RunStats> (*)(
+      const DecodedTrace&, const std::vector<core::Dl1System*>&);
+  using BatchRunCompressedFn = std::vector<sim::RunStats> (*)(
+      const CompressedTrace&, const std::vector<core::Dl1System*>&);
 
   void build();
+
+  template <class TraceT>
+  static std::vector<sim::RunStats> run_batch_impl(
+      const TraceT& trace, const std::vector<System*>& lanes);
 
   SystemConfig cfg_;
   std::unique_ptr<mem::L2System> l2_;
   std::unique_ptr<core::Dl1System> dl1_;
   FastRunFn fast_run_ = nullptr;
+  BatchRunFn batch_run_ = nullptr;
+  BatchRunCompressedFn batch_run_compressed_ = nullptr;
   InOrderCore core_;
 };
 

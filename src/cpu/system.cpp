@@ -1,10 +1,12 @@
 #include "sttsim/cpu/system.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "sttsim/alt/narrow_front_dl1.hpp"
 #include "sttsim/core/plain_dl1.hpp"
 #include "sttsim/core/vwb_dl1.hpp"
+#include "sttsim/cpu/batch_replay.hpp"
 #include "sttsim/cpu/replay.hpp"
 #include "sttsim/util/check.hpp"
 
@@ -17,6 +19,21 @@ namespace {
 template <class Concrete>
 sim::RunStats fast_run_impl(const DecodedTrace& trace, core::Dl1System& dl1) {
   return replay_decoded(trace, static_cast<Concrete&>(dl1));
+}
+
+// Batched counterpart: downcasts the lane set once, then hands the typed
+// lanes to the config-parallel loop. Same safety argument — build() pairs
+// each dl1_ with its class's function, and run_batch() requires every lane
+// to carry the same pair.
+template <class Concrete, class TraceT>
+std::vector<sim::RunStats> batch_run_impl(
+    const TraceT& trace, const std::vector<core::Dl1System*>& dl1s) {
+  std::vector<Concrete*> lanes;
+  lanes.reserve(dl1s.size());
+  for (core::Dl1System* d : dl1s) {
+    lanes.push_back(static_cast<Concrete*>(d));
+  }
+  return replay_batch(trace, lanes);
 }
 
 }  // namespace
@@ -37,6 +54,26 @@ const char* to_string(Dl1Organization org) {
       return "nvm-writebuf";
   }
   return "?";
+}
+
+Dl1ConcreteClass concrete_class(const SystemConfig& config) {
+  // Mirrors the dispatch in System::build (which pins the pairing; the
+  // batch grid layer uses this to group configurations without building).
+  switch (config.organization) {
+    case Dl1Organization::kSramBaseline:
+    case Dl1Organization::kNvmDropIn:
+      return Dl1ConcreteClass::kPlain;
+    case Dl1Organization::kNvmVwb:
+      return config.vwb_geometry().sector_bytes ==
+                     config.dl1_config().geometry.line_bytes
+                 ? Dl1ConcreteClass::kVwb
+                 : Dl1ConcreteClass::kNarrowFront;
+    case Dl1Organization::kNvmL0:
+    case Dl1Organization::kNvmEmshr:
+    case Dl1Organization::kNvmWriteBuf:
+      return Dl1ConcreteClass::kNarrowFront;
+  }
+  return Dl1ConcreteClass::kNarrowFront;
 }
 
 const tech::TechnologyParams& SystemConfig::dl1_tech() const {
@@ -111,12 +148,19 @@ System::System(const SystemConfig& config, Prevalidated) : cfg_(config) {
 void System::build() {
   l2_ = std::make_unique<mem::L2System>(cfg_.l2);
   const core::Dl1Config dl1 = cfg_.dl1_config();
+  // Pins the (dl1_, replay specialization) pairing for the solo fast path
+  // and both batched trace forms.
+  const auto select = [this]<class Concrete>() {
+    fast_run_ = &fast_run_impl<Concrete>;
+    batch_run_ = &batch_run_impl<Concrete, DecodedTrace>;
+    batch_run_compressed_ = &batch_run_impl<Concrete, CompressedTrace>;
+  };
   switch (cfg_.organization) {
     case Dl1Organization::kSramBaseline:
     case Dl1Organization::kNvmDropIn: {
       dl1_ = std::make_unique<core::PlainDl1System>(
           to_string(cfg_.organization), dl1, l2_.get());
-      fast_run_ = &fast_run_impl<core::PlainDl1System>;
+      select.operator()<core::PlainDl1System>();
       break;
     }
     case Dl1Organization::kNvmVwb: {
@@ -135,36 +179,67 @@ void System::build() {
         n.mshr_entries = cfg_.mshr_entries;
         dl1_ = std::make_unique<alt::NarrowFrontDl1System>(
             to_string(cfg_.organization), n, l2_.get());
-        fast_run_ = &fast_run_impl<alt::NarrowFrontDl1System>;
+        select.operator()<alt::NarrowFrontDl1System>();
       } else {
         dl1_ = std::make_unique<core::VwbDl1System>(
             to_string(cfg_.organization), v, l2_.get());
-        fast_run_ = &fast_run_impl<core::VwbDl1System>;
+        select.operator()<core::VwbDl1System>();
       }
       break;
     }
     case Dl1Organization::kNvmL0: {
       dl1_ = std::make_unique<alt::NarrowFrontDl1System>(
           to_string(cfg_.organization), alt::make_l0_config(dl1), l2_.get());
-      fast_run_ = &fast_run_impl<alt::NarrowFrontDl1System>;
+      select.operator()<alt::NarrowFrontDl1System>();
       break;
     }
     case Dl1Organization::kNvmEmshr: {
       dl1_ = std::make_unique<alt::NarrowFrontDl1System>(
           to_string(cfg_.organization), alt::make_emshr_config(dl1),
           l2_.get());
-      fast_run_ = &fast_run_impl<alt::NarrowFrontDl1System>;
+      select.operator()<alt::NarrowFrontDl1System>();
       break;
     }
     case Dl1Organization::kNvmWriteBuf: {
       dl1_ = std::make_unique<alt::NarrowFrontDl1System>(
           to_string(cfg_.organization), alt::make_write_buffer_config(dl1),
           l2_.get());
-      fast_run_ = &fast_run_impl<alt::NarrowFrontDl1System>;
+      select.operator()<alt::NarrowFrontDl1System>();
       break;
     }
   }
   STTSIM_CHECK(fast_run_ != nullptr);
+}
+
+template <class TraceT>
+std::vector<sim::RunStats> System::run_batch_impl(
+    const TraceT& trace, const std::vector<System*>& lanes) {
+  STTSIM_CHECK(!lanes.empty());
+  std::vector<core::Dl1System*> dl1s;
+  dl1s.reserve(lanes.size());
+  for (System* s : lanes) {
+    STTSIM_CHECK(s != nullptr);
+    // Equal batch pointers <=> same concrete class <=> one specialization
+    // serves every lane.
+    STTSIM_CHECK(s->batch_run_ == lanes.front()->batch_run_);
+    s->reset();
+    dl1s.push_back(s->dl1_.get());
+  }
+  if constexpr (std::is_same_v<TraceT, DecodedTrace>) {
+    return lanes.front()->batch_run_(trace, dl1s);
+  } else {
+    return lanes.front()->batch_run_compressed_(trace, dl1s);
+  }
+}
+
+std::vector<sim::RunStats> System::run_batch(const DecodedTrace& trace,
+                                             const std::vector<System*>& lanes) {
+  return run_batch_impl(trace, lanes);
+}
+
+std::vector<sim::RunStats> System::run_batch(const CompressedTrace& trace,
+                                             const std::vector<System*>& lanes) {
+  return run_batch_impl(trace, lanes);
 }
 
 sim::RunStats System::run(const Trace& trace) {

@@ -5,7 +5,8 @@
 namespace sttsim::exec {
 namespace {
 
-std::atomic<unsigned> g_default_jobs{0};  // 0 = hardware_jobs()
+std::atomic<unsigned> g_default_jobs{0};   // 0 = hardware_jobs()
+std::atomic<unsigned> g_default_batch{1};  // 1 = unbatched replay
 
 }  // namespace
 
@@ -20,6 +21,12 @@ unsigned default_jobs() {
   const unsigned n = g_default_jobs.load();
   return n == 0 ? hardware_jobs() : n;
 }
+
+void set_default_batch(unsigned batch) {
+  g_default_batch.store(batch == 0 ? 1u : batch);
+}
+
+unsigned default_batch() { return g_default_batch.load(); }
 
 ParallelExecutor::ParallelExecutor(unsigned jobs)
     : jobs_(jobs == 0 ? default_jobs() : jobs) {

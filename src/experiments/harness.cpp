@@ -2,6 +2,7 @@
 
 #include <tuple>
 
+#include "sttsim/cpu/batch_replay.hpp"
 #include "sttsim/exec/parallel_executor.hpp"
 #include "sttsim/exec/telemetry.hpp"
 #include "sttsim/util/check.hpp"
@@ -47,6 +48,7 @@ const CachedWorkload& TraceCache::get_workload(
         CachedWorkload w;
         w.trace = kernel.generate(opts);
         w.decoded = cpu::decode(w.trace);
+        w.compressed = cpu::compress(w.decoded);
         return w;
       });
 }
@@ -61,6 +63,88 @@ sim::RunStats run_kernel(TraceCache& cache, const workloads::Kernel& kernel,
   return stats;
 }
 
+namespace {
+
+/// The batched grid schedule: grid points grouped by codegen (same trace),
+/// then split into same-organization-class lane sets of at most
+/// exec::default_batch() configurations (cpu::partition_batches). Each task
+/// replays one (kernel x lane-set) in a single compressed-trace pass and
+/// scatters per-lane results back to the deterministic out[j][k] order.
+std::vector<std::vector<sim::RunStats>> run_grid_batched(
+    TraceCache& cache, const std::vector<workloads::Kernel>& kernels,
+    const std::vector<SuiteJob>& jobs, unsigned batch) {
+  const std::size_t n_kernels = kernels.size();
+
+  // Group job indices by codegen options (first-appearance order): lanes of
+  // one batch must replay the identical trace.
+  std::vector<const workloads::CodegenOptions*> group_opts;
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    std::size_t g = 0;
+    while (g < groups.size() &&
+           codegen_tuple(*group_opts[g]) != codegen_tuple(jobs[j].opts)) {
+      ++g;
+    }
+    if (g == groups.size()) {
+      group_opts.push_back(&jobs[j].opts);
+      groups.emplace_back();
+    }
+    groups[g].push_back(j);
+  }
+
+  // Expand every group into (kernel x lane-set) tasks.
+  struct BatchTask {
+    std::vector<std::size_t> lanes;  ///< global job indices, batch order
+    std::size_t kernel = 0;
+  };
+  std::vector<BatchTask> tasks;
+  for (const std::vector<std::size_t>& group : groups) {
+    std::vector<cpu::SystemConfig> configs;
+    configs.reserve(group.size());
+    for (const std::size_t j : group) configs.push_back(jobs[j].config);
+    for (std::vector<std::size_t>& part :
+         cpu::partition_batches(configs, batch)) {
+      for (std::size_t& local : part) local = group[local];
+      for (std::size_t k = 0; k < n_kernels; ++k) {
+        tasks.push_back({part, k});
+      }
+    }
+  }
+
+  exec::ParallelExecutor pool;
+  const std::vector<std::vector<sim::RunStats>> results =
+      pool.map(tasks.size(), [&](std::size_t t) {
+        const BatchTask& task = tasks[t];
+        const CachedWorkload& workload = cache.get_workload(
+            kernels[task.kernel], jobs[task.lanes.front()].opts);
+        std::vector<cpu::System> systems;
+        systems.reserve(task.lanes.size());
+        for (const std::size_t j : task.lanes) {
+          systems.emplace_back(jobs[j].config, cpu::System::kPrevalidated);
+        }
+        std::vector<cpu::System*> lanes;
+        lanes.reserve(systems.size());
+        for (cpu::System& s : systems) lanes.push_back(&s);
+        std::vector<sim::RunStats> stats =
+            cpu::System::run_batch(workload.compressed, lanes);
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+          exec::Telemetry::instance().count_simulation(workload.decoded.size());
+        }
+        return stats;
+      });
+
+  std::vector<std::vector<sim::RunStats>> out(
+      jobs.size(), std::vector<sim::RunStats>(n_kernels));
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    for (std::size_t i = 0; i < tasks[t].lanes.size(); ++i) {
+      out[tasks[t].lanes[i]][tasks[t].kernel] = results[t][i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<std::vector<sim::RunStats>> run_grid(
     TraceCache& cache, const std::vector<workloads::Kernel>& kernels,
     const std::vector<SuiteJob>& jobs) {
@@ -68,6 +152,9 @@ std::vector<std::vector<sim::RunStats>> run_grid(
   // point: the jobs then construct Systems on the pre-validated path.
   for (const SuiteJob& job : jobs) job.config.validate();
   const std::size_t n_kernels = kernels.size();
+  if (const unsigned batch = exec::default_batch(); batch > 1) {
+    return run_grid_batched(cache, kernels, jobs, batch);
+  }
   exec::ParallelExecutor pool;
   std::vector<sim::RunStats> flat =
       pool.map(jobs.size() * n_kernels, [&](std::size_t idx) {

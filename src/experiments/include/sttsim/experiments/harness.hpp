@@ -26,12 +26,15 @@ double penalty_pct(const sim::RunStats& variant,
 double gain_pct(const sim::RunStats& unoptimized,
                 const sim::RunStats& optimized);
 
-/// A memoized workload: the raw generated trace plus its replay-optimized
-/// decoded form (cpu::decode), produced once and shared read-only across
-/// every grid point that replays this (kernel, codegen).
+/// A memoized workload: the raw generated trace, its replay-optimized
+/// decoded form (cpu::decode), and the delta/RLE-compressed form the
+/// batched replay engine streams (cpu::compress) — each produced once and
+/// shared read-only across every grid point that replays this
+/// (kernel, codegen).
 struct CachedWorkload {
   cpu::Trace trace;
   cpu::DecodedTrace decoded;
+  cpu::CompressedTrace compressed;
 };
 
 /// Memoizes generated traces per (kernel, codegen) so multi-figure bench
@@ -53,6 +56,10 @@ class TraceCache {
   const cpu::DecodedTrace& get_decoded(const workloads::Kernel& kernel,
                                        const workloads::CodegenOptions& opts) {
     return get_workload(kernel, opts).decoded;
+  }
+  const cpu::CompressedTrace& get_compressed(
+      const workloads::Kernel& kernel, const workloads::CodegenOptions& opts) {
+    return get_workload(kernel, opts).compressed;
   }
 
   std::size_t entries() const { return cache_.entries(); }
@@ -98,6 +105,13 @@ struct SuiteJob {
 /// is validated once up front and shared read-only by its jobs. Results
 /// come back in deterministic input order — result[j][k] is jobs[j] on
 /// kernels[k] — byte-identical to the historical serial loops.
+///
+/// When exec::default_batch() > 1 (the benches' --batch=K flag), grid
+/// points are grouped by (kernel x codegen x organization-class) and each
+/// pool task replays one compressed-trace pass over up to K same-class
+/// configurations at once (cpu::System::run_batch). The batched engine's
+/// per-lane call sequence is identical to the solo replay, so results stay
+/// byte-identical to --batch=1 — only the schedule changes.
 std::vector<std::vector<sim::RunStats>> run_grid(
     TraceCache& cache, const std::vector<workloads::Kernel>& kernels,
     const std::vector<SuiteJob>& jobs);

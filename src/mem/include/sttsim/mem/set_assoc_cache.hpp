@@ -116,6 +116,13 @@ class SetAssocCache {
   Addr tag_of(Addr addr) const { return addr >> tag_shift_; }
 
   /// Flat way index of the resident line containing `addr`, or -1.
+  /// Branchless at every associativity: the 2-way L1 case compares both
+  /// tags in one 16 B load's worth of work; wider sets (the unified L2,
+  /// sweep configurations) build a match mask over the packed tag vector in
+  /// a single compare pass — plain uint64 equality the compiler vectorizes
+  /// — and reduce it with a count-trailing-zeros. Both forms return the
+  /// first matching way, like the historical scan (tags are unique within a
+  /// set, so at most one bit is ever set).
   std::ptrdiff_t find_way(Addr addr) const {
     const std::size_t base = set_index(addr) * assoc_;
     const Addr tag = tag_of(addr);
@@ -126,6 +133,16 @@ class SetAssocCache {
       const bool h1 = t[1] == tag;
       if (!(h0 | h1)) return -1;
       return static_cast<std::ptrdiff_t>(base + (h0 ? 0 : 1));
+    }
+    if (assoc_ <= 64) {
+      std::uint64_t match = 0;
+      STTSIM_VEC_LOOP
+      for (unsigned w = 0; w < assoc_; ++w) {
+        match |= static_cast<std::uint64_t>(t[w] == tag) << w;
+      }
+      if (match == 0) return -1;
+      return static_cast<std::ptrdiff_t>(
+          base + static_cast<unsigned>(std::countr_zero(match)));
     }
     for (unsigned w = 0; w < assoc_; ++w) {
       if (t[w] == tag) return static_cast<std::ptrdiff_t>(base + w);

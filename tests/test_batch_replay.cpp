@@ -1,0 +1,346 @@
+// The config-parallel batched replay engine (cpu/batch_replay.hpp) must be
+// observationally identical to per-config solo replays: lane i of a batch
+// sees exactly the call sequence `replay_decoded` would issue, so every
+// core and memory counter matches bit for bit — across all six DL1
+// organizations, batch widths, and both trace forms (decoded and
+// delta/RLE-compressed). These tests pin that equivalence, the compressed
+// trace representation itself (exact round trip, escape fallback, cursor),
+// the class-homogeneous batch partitioning, and the batched grid schedule.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sttsim/cpu/batch_replay.hpp"
+#include "sttsim/cpu/decoded_trace.hpp"
+#include "sttsim/cpu/system.hpp"
+#include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/experiments/harness.hpp"
+#include "sttsim/sim/stats.hpp"
+#include "sttsim/workloads/kernels.hpp"
+#include "trace_util.hpp"
+
+namespace {
+
+using namespace sttsim;
+
+const cpu::Dl1Organization kAllOrgs[] = {
+    cpu::Dl1Organization::kSramBaseline, cpu::Dl1Organization::kNvmDropIn,
+    cpu::Dl1Organization::kNvmVwb,       cpu::Dl1Organization::kNvmL0,
+    cpu::Dl1Organization::kNvmEmshr,     cpu::Dl1Organization::kNvmWriteBuf};
+
+/// Every RunStats field, compared individually so a divergence names the
+/// counter that broke.
+void expect_identical(const sim::RunStats& batched, const sim::RunStats& solo,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  // Core.
+  EXPECT_EQ(batched.core.instructions, solo.core.instructions);
+  EXPECT_EQ(batched.core.mem_instructions, solo.core.mem_instructions);
+  EXPECT_EQ(batched.core.exec_cycles, solo.core.exec_cycles);
+  EXPECT_EQ(batched.core.read_stall_cycles, solo.core.read_stall_cycles);
+  EXPECT_EQ(batched.core.write_stall_cycles, solo.core.write_stall_cycles);
+  EXPECT_EQ(batched.core.structural_stall_cycles,
+            solo.core.structural_stall_cycles);
+  EXPECT_EQ(batched.core.total_cycles, solo.core.total_cycles);
+  // Memory hierarchy — all twenty counters.
+  EXPECT_EQ(batched.mem.loads, solo.mem.loads);
+  EXPECT_EQ(batched.mem.stores, solo.mem.stores);
+  EXPECT_EQ(batched.mem.prefetches, solo.mem.prefetches);
+  EXPECT_EQ(batched.mem.front_hits, solo.mem.front_hits);
+  EXPECT_EQ(batched.mem.front_misses, solo.mem.front_misses);
+  EXPECT_EQ(batched.mem.front_store_hits, solo.mem.front_store_hits);
+  EXPECT_EQ(batched.mem.promotions, solo.mem.promotions);
+  EXPECT_EQ(batched.mem.front_writebacks, solo.mem.front_writebacks);
+  EXPECT_EQ(batched.mem.prefetch_hits, solo.mem.prefetch_hits);
+  EXPECT_EQ(batched.mem.l1_read_hits, solo.mem.l1_read_hits);
+  EXPECT_EQ(batched.mem.l1_write_hits, solo.mem.l1_write_hits);
+  EXPECT_EQ(batched.mem.l1_misses, solo.mem.l1_misses);
+  EXPECT_EQ(batched.mem.l1_writebacks, solo.mem.l1_writebacks);
+  EXPECT_EQ(batched.mem.l2_hits, solo.mem.l2_hits);
+  EXPECT_EQ(batched.mem.l2_misses, solo.mem.l2_misses);
+  EXPECT_EQ(batched.mem.l1_array_reads, solo.mem.l1_array_reads);
+  EXPECT_EQ(batched.mem.l1_array_writes, solo.mem.l1_array_writes);
+  EXPECT_EQ(batched.mem.l2_array_reads, solo.mem.l2_array_reads);
+  EXPECT_EQ(batched.mem.l2_array_writes, solo.mem.l2_array_writes);
+  EXPECT_EQ(batched.mem.bank_conflict_cycles, solo.mem.bank_conflict_cycles);
+}
+
+/// K same-organization configurations with distinct clocks (distinct NVM
+/// latencies in cycles, so lanes genuinely diverge in timing).
+std::vector<cpu::SystemConfig> lane_configs(cpu::Dl1Organization org,
+                                            unsigned k) {
+  std::vector<cpu::SystemConfig> cfgs(k);
+  for (unsigned i = 0; i < k; ++i) {
+    cfgs[i].organization = org;
+    cfgs[i].clock_ghz = 1.0 + 0.3 * i;
+  }
+  return cfgs;
+}
+
+/// Runs `configs` through the batched engine over `trace`.
+std::vector<sim::RunStats> run_batched(
+    const std::vector<cpu::SystemConfig>& configs,
+    const cpu::DecodedTrace& decoded, bool compressed_form) {
+  std::vector<cpu::System> systems;
+  systems.reserve(configs.size());
+  for (const cpu::SystemConfig& cfg : configs) systems.emplace_back(cfg);
+  std::vector<cpu::System*> lanes;
+  for (cpu::System& s : systems) lanes.push_back(&s);
+  if (compressed_form) {
+    return cpu::System::run_batch(cpu::compress(decoded), lanes);
+  }
+  return cpu::System::run_batch(decoded, lanes);
+}
+
+TEST(BatchReplay, MatchesSoloOnRandomTraces) {
+  const unsigned widths[] = {1, 2, 3, 8};
+  for (const cpu::Dl1Organization org : kAllOrgs) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      const Addr region = Addr{8} << (10 + 3 * (seed % 2));
+      const cpu::Trace trace = testutil::random_trace(seed, 3000, region);
+      const cpu::DecodedTrace decoded = cpu::decode(trace);
+      for (const unsigned k : widths) {
+        const std::vector<cpu::SystemConfig> cfgs = lane_configs(org, k);
+        const std::vector<sim::RunStats> batched =
+            run_batched(cfgs, decoded, /*compressed_form=*/false);
+        ASSERT_EQ(batched.size(), k);
+        for (unsigned i = 0; i < k; ++i) {
+          cpu::System solo(cfgs[i]);
+          expect_identical(batched[i], solo.run(decoded),
+                           std::string(cpu::to_string(org)) + " seed " +
+                               std::to_string(seed) + " k=" +
+                               std::to_string(k) + " lane " +
+                               std::to_string(i));
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchReplay, MatchesSoloOnKernelTrace) {
+  const cpu::Trace trace =
+      workloads::gemm(12, 12, 12, workloads::CodegenOptions::all());
+  const cpu::DecodedTrace decoded = cpu::decode(trace);
+  for (const cpu::Dl1Organization org : kAllOrgs) {
+    const std::vector<cpu::SystemConfig> cfgs = lane_configs(org, 4);
+    const std::vector<sim::RunStats> batched =
+        run_batched(cfgs, decoded, /*compressed_form=*/true);
+    for (unsigned i = 0; i < 4; ++i) {
+      cpu::System solo(cfgs[i]);
+      expect_identical(batched[i], solo.run(decoded),
+                       std::string("gemm ") + cpu::to_string(org) + " lane " +
+                           std::to_string(i));
+    }
+  }
+}
+
+TEST(BatchReplay, CompressedSourceMatchesDecodedSource) {
+  const cpu::Trace trace = testutil::random_trace(7, 4000, 1 << 16);
+  const cpu::DecodedTrace decoded = cpu::decode(trace);
+  for (const cpu::Dl1Organization org : kAllOrgs) {
+    const std::vector<cpu::SystemConfig> cfgs = lane_configs(org, 3);
+    const std::vector<sim::RunStats> from_decoded =
+        run_batched(cfgs, decoded, /*compressed_form=*/false);
+    const std::vector<sim::RunStats> from_compressed =
+        run_batched(cfgs, decoded, /*compressed_form=*/true);
+    for (unsigned i = 0; i < 3; ++i) {
+      expect_identical(from_compressed[i], from_decoded[i],
+                       std::string("source ") + cpu::to_string(org) +
+                           " lane " + std::to_string(i));
+    }
+  }
+}
+
+// ---- Compressed trace representation ---------------------------------
+
+void expect_ops_equal(const cpu::DecodedTrace& a, const cpu::DecodedTrace& b) {
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    SCOPED_TRACE("op " + std::to_string(i));
+    EXPECT_EQ(a.ops[i].addr, b.ops[i].addr);
+    EXPECT_EQ(a.ops[i].count, b.ops[i].count);
+    EXPECT_EQ(a.ops[i].kind, b.ops[i].kind);
+    EXPECT_EQ(a.ops[i].size, b.ops[i].size);
+    EXPECT_EQ(a.ops[i].span32, b.ops[i].span32);
+    EXPECT_EQ(a.ops[i].span64, b.ops[i].span64);
+  }
+  EXPECT_EQ(a.store_values, b.store_values);
+}
+
+TEST(CompressedTrace, ExactRoundTripOnGeneratedTraces) {
+  // Random fuzz mix and a kernel trace with store payloads: compress must
+  // invert exactly, and the stream must actually be smaller.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    cpu::Trace trace = testutil::random_trace(seed, 5000, 1 << 18);
+    cpu::assign_store_values(trace, seed);
+    const cpu::DecodedTrace decoded = cpu::decode(trace);
+    const cpu::CompressedTrace compressed = cpu::compress(decoded);
+    EXPECT_EQ(compressed.size(), decoded.size());
+    EXPECT_LT(compressed.bytes.size(), compressed.decoded_bytes() / 2)
+        << "compression should at least halve the op stream";
+    expect_ops_equal(cpu::decompress(compressed), decoded);
+  }
+  const cpu::Trace kernel =
+      workloads::gemm(16, 16, 16, workloads::CodegenOptions::all());
+  const cpu::DecodedTrace decoded = cpu::decode(kernel);
+  expect_ops_equal(cpu::decompress(cpu::compress(decoded)), decoded);
+}
+
+TEST(CompressedTrace, EscapePathRoundTripsDegenerateOps) {
+  // Ops the compact form cannot carry must survive via the 0xFF escape:
+  // exec with a nonzero addr, memory ops with count != 1, ops whose stored
+  // spans disagree with recomputation, zero-count exec.
+  cpu::DecodedTrace weird;
+  cpu::DecodedOp exec_addr;
+  exec_addr.kind = cpu::OpKind::kExec;
+  exec_addr.addr = 0xdead;
+  exec_addr.count = 5;
+  weird.ops.push_back(exec_addr);
+
+  cpu::DecodedOp multi_load;
+  multi_load.kind = cpu::OpKind::kLoad;
+  multi_load.addr = 0x1000;
+  multi_load.size = 8;
+  multi_load.count = 3;  // decode() never emits this
+  multi_load.span32 = 1;
+  multi_load.span64 = 1;
+  weird.ops.push_back(multi_load);
+
+  cpu::DecodedOp bad_span;
+  bad_span.kind = cpu::OpKind::kStore;
+  bad_span.addr = 0x2000;
+  bad_span.size = 16;
+  bad_span.span32 = 7;  // disagrees with span_of(0x2000, 16, 5)
+  bad_span.span64 = 1;
+  weird.ops.push_back(bad_span);
+
+  cpu::DecodedOp zero_exec;
+  zero_exec.kind = cpu::OpKind::kExec;
+  zero_exec.count = 0;
+  weird.ops.push_back(zero_exec);
+
+  // A normal op after the escapes: prev_addr/prev_size tracking must have
+  // stayed consistent across the escape path.
+  cpu::DecodedOp normal;
+  normal.kind = cpu::OpKind::kLoad;
+  normal.addr = 0x2008;
+  normal.size = 16;
+  normal.span32 = cpu::span_of(0x2008, 16, 5);
+  normal.span64 = cpu::span_of(0x2008, 16, 6);
+  weird.ops.push_back(normal);
+
+  expect_ops_equal(cpu::decompress(cpu::compress(weird)), weird);
+}
+
+TEST(CompressedTrace, CursorMatchesDecompress) {
+  cpu::Trace trace = testutil::random_trace(11, 2000, 1 << 14);
+  const cpu::DecodedTrace decoded = cpu::decode(trace);
+  const cpu::CompressedTrace compressed = cpu::compress(decoded);
+  const cpu::DecodedTrace expanded = cpu::decompress(compressed);
+
+  cpu::CompressedCursor cursor(compressed);
+  cpu::DecodedOp op;
+  std::size_t i = 0;
+  while (cursor.next(op)) {
+    ASSERT_LT(i, expanded.ops.size());
+    SCOPED_TRACE("op " + std::to_string(i));
+    EXPECT_EQ(op.addr, expanded.ops[i].addr);
+    EXPECT_EQ(op.count, expanded.ops[i].count);
+    EXPECT_EQ(op.kind, expanded.ops[i].kind);
+    EXPECT_EQ(op.size, expanded.ops[i].size);
+    EXPECT_EQ(op.span32, expanded.ops[i].span32);
+    EXPECT_EQ(op.span64, expanded.ops[i].span64);
+    ++i;
+  }
+  EXPECT_EQ(i, expanded.ops.size());
+}
+
+// ---- Batch partitioning ----------------------------------------------
+
+TEST(PartitionBatches, HomogeneousBoundedAndComplete) {
+  // All six organizations, two of each, width 2: every part must be
+  // class-homogeneous, at most 2 wide, and cover each index exactly once
+  // with within-class input order preserved.
+  std::vector<cpu::SystemConfig> cfgs;
+  for (const cpu::Dl1Organization org : kAllOrgs) {
+    for (unsigned rep = 0; rep < 2; ++rep) {
+      cpu::SystemConfig c;
+      c.organization = org;
+      cfgs.push_back(c);
+    }
+  }
+  const auto parts = cpu::partition_batches(cfgs, 2);
+  std::vector<unsigned> covered(cfgs.size(), 0);
+  for (const std::vector<std::size_t>& part : parts) {
+    ASSERT_FALSE(part.empty());
+    EXPECT_LE(part.size(), 2u);
+    const cpu::Dl1ConcreteClass cls = cpu::concrete_class(cfgs[part.front()]);
+    for (std::size_t prev = 0, i = 0; i < part.size(); ++i) {
+      EXPECT_EQ(cpu::concrete_class(cfgs[part[i]]), cls);
+      if (i > 0) {
+        EXPECT_GT(part[i], prev) << "order not preserved";
+      }
+      prev = part[i];
+      covered[part[i]] += 1;
+    }
+  }
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    EXPECT_EQ(covered[i], 1u) << "index " << i;
+  }
+}
+
+TEST(PartitionBatches, WidthClamped) {
+  std::vector<cpu::SystemConfig> cfgs(3);
+  // width 0 behaves like 1.
+  EXPECT_EQ(cpu::partition_batches(cfgs, 0).size(), 3u);
+  // Oversized width is one chunk.
+  EXPECT_EQ(cpu::partition_batches(cfgs, 1000).size(), 1u);
+}
+
+// ---- Batched grid schedule -------------------------------------------
+
+TEST(BatchedGrid, MatchesUnbatchedAcrossJobsAndWidths) {
+  // The grid layer must produce identical results at every (jobs, batch)
+  // combination; jobs=2 x batch=2 also exercises concurrent batch tasks
+  // under the thread sanitizer preset.
+  const std::vector<workloads::Kernel> kernels =
+      experiments::select_kernels({"atax", "mvt"});
+  std::vector<experiments::SuiteJob> jobs;
+  for (const cpu::Dl1Organization org : kAllOrgs) {
+    jobs.push_back({experiments::make_config(org), {}});
+    experiments::SuiteJob tuned{experiments::make_config(org),
+                                workloads::CodegenOptions::all()};
+    jobs.push_back(tuned);
+  }
+
+  const auto run_with = [&](unsigned n_jobs, unsigned batch) {
+    exec::set_default_jobs(n_jobs);
+    exec::set_default_batch(batch);
+    experiments::TraceCache cache;
+    const auto grid = experiments::run_grid(cache, kernels, jobs);
+    exec::set_default_batch(1);
+    exec::set_default_jobs(0);
+    return grid;
+  };
+
+  const auto baseline = run_with(1, 1);
+  const struct {
+    unsigned jobs_n, batch;
+  } combos[] = {{1, 3}, {1, 64}, {2, 2}};
+  for (const auto& combo : combos) {
+    const auto got = run_with(combo.jobs_n, combo.batch);
+    ASSERT_EQ(got.size(), baseline.size());
+    for (std::size_t j = 0; j < baseline.size(); ++j) {
+      ASSERT_EQ(got[j].size(), baseline[j].size());
+      for (std::size_t k = 0; k < baseline[j].size(); ++k) {
+        expect_identical(got[j][k], baseline[j][k],
+                         "jobs=" + std::to_string(combo.jobs_n) + " batch=" +
+                             std::to_string(combo.batch) + " j=" +
+                             std::to_string(j) + " k=" + std::to_string(k));
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -8,6 +8,16 @@
 //   * per-figure serial replay throughput  (figures[].serial.trace_ops_per_sec)
 //   * per-organization fast-path replay    (replay.organizations[].fast_ops_per_sec)
 //   * aggregate fast-path replay           (replay.fast_agg_ops_per_sec)
+//   * per-organization batched replay      (batch.organizations[].batch_ops_per_sec)
+//   * aggregate batched replay             (batch.batch_agg_ops_per_sec)
+//
+// Every comparison prints its delta — within tolerance or not — plus one
+// summary line per section (figure / replay / batch), so a run's drift is
+// visible before it crosses the regression threshold.
+//
+// Exit codes: 0 all good, 1 regression(s), 2 usage / unreadable current
+// file / no common metrics, 3 baseline file missing (distinct so callers —
+// the perf ctest — can tell "no baseline yet" from a real failure).
 //
 // Only metrics present in BOTH files are compared (a --quick baseline still
 // guards the figures it contains). The parser is deliberately minimal — it
@@ -84,21 +94,43 @@ std::vector<Metric> extract(const std::string& text) {
     }
     pos = entry;
   }
-  // Replay organizations.
+  // Replay organizations (bounded by the batch section, which reuses the
+  // per-org entry shape).
+  const std::size_t batch = text.find("\"batch\"");
   pos = replay;
   while (pos != std::string::npos) {
     const std::size_t entry = text.find("{\"org\": \"", pos + 1);
-    if (entry == std::string::npos) break;
+    if (entry == std::string::npos ||
+        (batch != std::string::npos && entry >= batch)) {
+      break;
+    }
     const std::string org = string_after(text, "org", entry);
-    const double v = number_after(text, "fast_ops_per_sec", entry);
+    const double v = number_after(text, "fast_ops_per_sec", entry, batch);
     if (!org.empty() && v >= 0.0) {
       out.push_back(Metric{"replay:" + org, v});
     }
     pos = entry;
   }
   if (replay != std::string::npos) {
-    const double agg = number_after(text, "fast_agg_ops_per_sec", replay);
+    const double agg =
+        number_after(text, "fast_agg_ops_per_sec", replay, batch);
     if (agg >= 0.0) out.push_back(Metric{"replay:aggregate", agg});
+  }
+  // Batched-replay organizations and aggregate.
+  pos = batch;
+  while (pos != std::string::npos) {
+    const std::size_t entry = text.find("{\"org\": \"", pos + 1);
+    if (entry == std::string::npos) break;
+    const std::string org = string_after(text, "org", entry);
+    const double v = number_after(text, "batch_ops_per_sec", entry);
+    if (!org.empty() && v >= 0.0) {
+      out.push_back(Metric{"batch:" + org, v});
+    }
+    pos = entry;
+  }
+  if (batch != std::string::npos) {
+    const double agg = number_after(text, "batch_agg_ops_per_sec", batch);
+    if (agg >= 0.0) out.push_back(Metric{"batch:aggregate", agg});
   }
   return out;
 }
@@ -135,9 +167,32 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // A missing baseline is not a regression — it means nothing has been
+  // recorded yet. Distinct exit code so scripted callers can special-case
+  // it instead of conflating it with a usage error or a real failure.
+  {
+    std::ifstream probe(baseline_path);
+    if (!probe) {
+      std::fprintf(stderr,
+                   "perf_compare: no baseline at %s\n"
+                   "perf_compare: generate one with bench/perf_smoke "
+                   "(writes BENCH_perf.json at the repo root) and commit "
+                   "it\n",
+                   baseline_path);
+      return 3;
+    }
+  }
+
   const std::vector<Metric> baseline = extract(slurp(baseline_path));
   const std::vector<Metric> current = extract(slurp(current_path));
 
+  struct Section {
+    std::string name;
+    unsigned compared = 0;
+    double ratio_sum = 0.0;
+    double worst = 1e300;
+  };
+  std::vector<Section> sections;
   unsigned compared = 0;
   unsigned regressed = 0;
   for (const Metric& b : baseline) {
@@ -150,12 +205,30 @@ int main(int argc, char** argv) {
     std::printf("%-34s %12.3g -> %12.3g ops/s  %+6.1f%%%s\n", b.name.c_str(),
                 b.value, c->value, (ratio - 1.0) * 100.0,
                 bad ? "  [REGRESSION]" : "");
+    const std::string sec = b.name.substr(0, b.name.find(':'));
+    Section* s = nullptr;
+    for (Section& it : sections) {
+      if (it.name == sec) s = &it;
+    }
+    if (s == nullptr) {
+      sections.push_back(Section{sec});
+      s = &sections.back();
+    }
+    s->compared += 1;
+    s->ratio_sum += ratio;
+    if (ratio < s->worst) s->worst = ratio;
   }
   if (compared == 0) {
     std::fprintf(stderr,
                  "perf_compare: no common metrics between %s and %s\n",
                  baseline_path, current_path);
     return 2;
+  }
+  for (const Section& s : sections) {
+    std::printf("section %-8s %u metric(s), mean %+6.1f%%, worst %+6.1f%%\n",
+                s.name.c_str(), s.compared,
+                (s.ratio_sum / s.compared - 1.0) * 100.0,
+                (s.worst - 1.0) * 100.0);
   }
   std::printf("%u metric(s) compared, %u regression(s) beyond %.0f%%\n",
               compared, regressed, tolerance * 100.0);

@@ -8,7 +8,13 @@
 //   sttsim --trace-in=foo.trc --org=nvm-drop-in
 //   sttsim --kernel=mvt --trace-out=mvt.trc      (capture, no simulation)
 //   sttsim --trace-in=repro.trace --org=nvm-vwb --check-oracle
+//   sttsim --kernel=gemm --org=nvm-vwb,nvm-l0,nvm-emshr   (batched compare)
 //   sttsim --list
+//
+// --org accepts a comma-separated list: all named organizations are
+// simulated in one batched compressed-trace pass per organization class
+// (cpu::replay_batch) and reported side by side. --batch=K caps the lane
+// count per pass.
 //
 // Options: --vwb-kbit=N --vwb-lines=N --banks=N --clock-ghz=F --csv
 #include <cstdio>
@@ -19,6 +25,7 @@
 #include <string>
 
 #include "sttsim/check/differential.hpp"
+#include "sttsim/cpu/batch_replay.hpp"
 #include "sttsim/cpu/system.hpp"
 #include "sttsim/cpu/trace_io.hpp"
 #include "sttsim/exec/parallel_executor.hpp"
@@ -35,7 +42,8 @@ struct CliOptions {
   std::string kernel;
   std::string trace_in;
   std::string trace_out;
-  cpu::Dl1Organization org = cpu::Dl1Organization::kSramBaseline;
+  std::vector<cpu::Dl1Organization> orgs = {
+      cpu::Dl1Organization::kSramBaseline};
   workloads::CodegenOptions codegen;
   cpu::SystemConfig system;
   bool list = false;
@@ -51,11 +59,14 @@ struct CliOptions {
       stderr,
       "usage: %s [--list] [--kernel=NAME | --trace-in=FILE]\n"
       "          [--org=sram-baseline|nvm-drop-in|nvm-vwb|nvm-l0|nvm-emshr|"
-      "nvm-writebuf]\n"
+      "nvm-writebuf[,...]]\n"
       "          [--opts=vec,pf,br] [--vwb-kbit=N] [--vwb-lines=N]\n"
       "          [--banks=N] [--clock-ghz=F] [--trace-out=FILE]\n"
-      "          [--baseline-penalty] [--check-oracle] [--jobs=N]\n"
-      "          [--csv|--json]\n",
+      "          [--baseline-penalty] [--check-oracle] [--jobs=N] "
+      "[--batch=K]\n"
+      "          [--csv|--json]\n"
+      "(a comma-separated --org list runs all of them in one batched\n"
+      " replay pass per organization class and reports them side by side)\n",
       argv0);
   std::exit(2);
 }
@@ -69,6 +80,27 @@ std::optional<cpu::Dl1Organization> parse_org(const std::string& name) {
     if (name == cpu::to_string(org)) return org;
   }
   return std::nullopt;
+}
+
+/// Parses "--org=" values: one organization name or a comma-separated list.
+std::optional<std::vector<cpu::Dl1Organization>> parse_org_list(
+    const std::string& list) {
+  std::vector<cpu::Dl1Organization> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name = list.substr(
+        pos, comma == std::string::npos ? comma : comma - pos);
+    if (!name.empty()) {
+      const auto org = parse_org(name);
+      if (!org) return std::nullopt;
+      out.push_back(*org);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
 }
 
 workloads::CodegenOptions parse_codegen(const std::string& list) {
@@ -125,9 +157,9 @@ CliOptions parse_args(int argc, char** argv) {
     } else if (take("--trace-out=")) {
       o.trace_out = val;
     } else if (take("--org=")) {
-      const auto org = parse_org(val);
-      if (!org) usage(argv[0]);
-      o.org = *org;
+      const auto orgs = parse_org_list(val);
+      if (!orgs) usage(argv[0]);
+      o.orgs = *orgs;
     } else if (take("--opts=")) {
       o.codegen = parse_codegen(val);
     } else if (take("--vwb-kbit=")) {
@@ -140,6 +172,8 @@ CliOptions parse_args(int argc, char** argv) {
       o.system.clock_ghz = std::stod(val);
     } else if (take("--jobs=")) {
       exec::set_default_jobs(static_cast<unsigned>(std::stoul(val)));
+    } else if (take("--batch=")) {
+      exec::set_default_batch(static_cast<unsigned>(std::stoul(val)));
     } else {
       usage(argv[0]);
     }
@@ -190,8 +224,59 @@ int run(const CliOptions& o) {
     return 0;
   }
 
+  if (o.orgs.size() > 1) {
+    if (o.check_oracle || o.baseline_penalty || o.json) {
+      std::fprintf(stderr,
+                   "--org with multiple organizations is incompatible with "
+                   "--check-oracle/--baseline-penalty/--json\n");
+      return 2;
+    }
+    // Batched comparison: one compressed-trace replay pass per organization
+    // class drives every requested configuration of that class at once.
+    // --batch caps lanes per pass; unset, whole class groups ride together.
+    const cpu::DecodedTrace decoded = cpu::decode(trace);
+    const cpu::CompressedTrace compressed = cpu::compress(decoded);
+    std::vector<cpu::SystemConfig> cfgs;
+    cfgs.reserve(o.orgs.size());
+    for (const cpu::Dl1Organization org : o.orgs) {
+      cpu::SystemConfig cfg = o.system;
+      cfg.organization = org;
+      cfg.validate();
+      cfgs.push_back(cfg);
+    }
+    const unsigned width = exec::default_batch() > 1 ? exec::default_batch()
+                                                     : cpu::kMaxBatchLanes;
+    std::vector<sim::RunStats> all(cfgs.size());
+    for (const std::vector<std::size_t>& part :
+         cpu::partition_batches(cfgs, width)) {
+      std::vector<cpu::System> systems;
+      systems.reserve(part.size());
+      for (const std::size_t i : part) {
+        systems.emplace_back(cfgs[i], cpu::System::kPrevalidated);
+      }
+      std::vector<cpu::System*> lanes;
+      lanes.reserve(systems.size());
+      for (cpu::System& s : systems) lanes.push_back(&s);
+      const std::vector<sim::RunStats> stats =
+          cpu::System::run_batch(compressed, lanes);
+      for (std::size_t i = 0; i < part.size(); ++i) all[part[i]] = stats[i];
+    }
+    for (std::size_t i = 0; i < o.orgs.size(); ++i) {
+      if (!o.csv) {
+        if (i > 0) std::printf("\n");
+        std::printf("organization : %s\n", cpu::to_string(o.orgs[i]));
+        std::printf("workload     : %s (%s)\n",
+                    o.kernel.empty() ? o.trace_in.c_str() : o.kernel.c_str(),
+                    o.codegen.label().c_str());
+      }
+      print_stats(all[i], o.csv);
+    }
+    return 0;
+  }
+
+  const cpu::Dl1Organization org = o.orgs.front();
   cpu::SystemConfig cfg = o.system;
-  cfg.organization = o.org;
+  cfg.organization = org;
 
   if (o.check_oracle) {
     // Kernel generators emit zero store payloads; give them deterministic
@@ -200,7 +285,7 @@ int run(const CliOptions& o) {
     const check::Divergence div = check::run_differential(cfg, trace);
     if (!div.diverged) {
       std::printf("oracle agreement: %zu ops, no divergence (%s)\n",
-                  trace.size(), cpu::to_string(o.org));
+                  trace.size(), cpu::to_string(org));
       return 0;
     }
     std::fprintf(stderr, "DIVERGENCE: %s\nminimizing...\n",
@@ -214,7 +299,7 @@ int run(const CliOptions& o) {
   }
 
   const bool with_baseline = o.baseline_penalty && !o.json &&
-                             o.org != cpu::Dl1Organization::kSramBaseline;
+                             org != cpu::Dl1Organization::kSramBaseline;
 
   // With --baseline-penalty the variant and the SRAM reference run as two
   // jobs on the experiment engine's pool (a no-op at --jobs=1).
@@ -235,7 +320,7 @@ int run(const CliOptions& o) {
     return 0;
   }
   if (!o.csv) {
-    std::printf("organization : %s\n", cpu::to_string(o.org));
+    std::printf("organization : %s\n", cpu::to_string(org));
     std::printf("workload     : %s (%s)\n",
                 o.kernel.empty() ? o.trace_in.c_str() : o.kernel.c_str(),
                 o.codegen.label().c_str());
