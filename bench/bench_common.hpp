@@ -2,6 +2,7 @@
 //
 // Usage of every fig binary:
 //   figN [--csv] [--kernels=a,b,c] [--jobs=N] [--batch=K]
+//        [--store=PATH] [--no-store]
 // With no arguments the full 14-kernel suite is run and a fixed-width table
 // (matching the paper figure's bars, plus the AVERAGE bar) is printed.
 // --jobs sets the worker-pool width of the parallel experiment engine
@@ -9,16 +10,24 @@
 // --batch sets the config-parallel batch width: each pool task replays one
 // compressed-trace pass over up to K same-class DL1 configurations
 // (default: 1 — the unbatched path; results are identical either way).
+// --store=PATH opens (creating if absent) the persistent result store:
+// previously simulated grid points are read back instead of re-simulated,
+// new points are appended. The STTSIM_RESULT_STORE environment variable
+// supplies a default path; --no-store ignores it for one run. Results are
+// byte-identical with or without a store.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/exec/result_store.hpp"
 #include "sttsim/report/figure.hpp"
+#include "sttsim/sim/stats.hpp"
 
 namespace sttsim::benchcli {
 
@@ -27,14 +36,29 @@ struct Options {
   std::vector<std::string> kernels;
   unsigned jobs = 0;   ///< 0 = hardware_concurrency
   unsigned batch = 1;  ///< config-parallel lanes per grid task; 1 = unbatched
+  std::string store;   ///< result-store path; "" = memoization disabled
 };
+
+/// Opens (creating if needed) the persistent result store at `path` and
+/// registers it process-wide; every subsequent run_kernel/run_grid call
+/// probes it. The store object lives until process exit.
+inline void open_result_store(const std::string& path) {
+  static std::unique_ptr<exec::ResultStore> holder;
+  holder = std::make_unique<exec::ResultStore>(path, sim::kRunStatsBytes);
+  exec::set_result_store(holder.get());
+}
 
 inline Options parse(int argc, char** argv) {
   Options o;
+  bool no_store = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
       o.csv = true;
+    } else if (arg == "--no-store") {
+      no_store = true;
+    } else if (arg.rfind("--store=", 0) == 0) {
+      o.store = arg.substr(8);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       o.jobs = static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10));
     } else if (arg.rfind("--batch=", 0) == 0) {
@@ -51,15 +75,23 @@ inline Options parse(int argc, char** argv) {
         pos = comma == std::string::npos ? comma : comma + 1;
       }
     } else {
-      std::fprintf(
-          stderr,
-          "usage: %s [--csv] [--kernels=a,b,c] [--jobs=N] [--batch=K]\n",
-          argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--csv] [--kernels=a,b,c] [--jobs=N] "
+                   "[--batch=K] [--store=PATH] [--no-store]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
+  if (o.store.empty() && !no_store) {
+    if (const char* env = std::getenv("STTSIM_RESULT_STORE");
+        env != nullptr && *env != '\0') {
+      o.store = env;
+    }
+  }
+  if (no_store) o.store.clear();
   exec::set_default_jobs(o.jobs);
   exec::set_default_batch(o.batch);
+  if (!o.store.empty()) open_result_store(o.store);
   return o;
 }
 

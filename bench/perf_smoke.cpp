@@ -21,12 +21,14 @@
 #include <cstring>
 #include <functional>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sttsim/cpu/batch_replay.hpp"
 #include "sttsim/cpu/system.hpp"
 #include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/exec/result_store.hpp"
 #include "sttsim/exec/telemetry.hpp"
 #include "sttsim/experiments/figures.hpp"
 #include "sttsim/report/figure.hpp"
@@ -191,12 +193,15 @@ std::string run_json(const TimedRun& r) {
   return strprintf(
       "{\"wall_ms\": %.2f, \"simulations\": %llu, \"sims_per_sec\": %.2f, "
       "\"trace_ops\": %llu, \"trace_ops_per_sec\": %.0f, "
-      "\"traces_generated\": %llu}",
+      "\"traces_generated\": %llu, \"memo_hits\": %llu, "
+      "\"memo_misses\": %llu}",
       r.wall_ms, static_cast<unsigned long long>(r.counts.simulations),
       per_sec(r.counts.simulations, r.wall_ms),
       static_cast<unsigned long long>(r.counts.trace_ops),
       per_sec(r.counts.trace_ops, r.wall_ms),
-      static_cast<unsigned long long>(r.counts.traces_generated));
+      static_cast<unsigned long long>(r.counts.traces_generated),
+      static_cast<unsigned long long>(r.counts.memo_hits),
+      static_cast<unsigned long long>(r.counts.memo_misses));
 }
 
 }  // namespace
@@ -385,6 +390,56 @@ int main(int argc, char** argv) {
       batch_identical ? "true" : "false");
   all_identical = all_identical && batch_identical;
 
+  // ---- Result-store cold/warm section --------------------------------
+  // One figure regenerated twice against a fresh on-disk result store: the
+  // cold pass simulates everything and appends, the warm pass (store
+  // reopened from disk, so persistence — not in-memory caching — is what's
+  // measured) must answer every grid point from the store, generate zero
+  // traces, and emit byte-identical FigureData. Run at --jobs=1 and
+  // --jobs=8: the warm path must be exact at any pool width.
+  const std::string store_path = out_path + ".store.tmp";
+  const FigureCase& store_case = cases.front();
+  std::string store_entries;
+  bool store_identical = true;
+  for (const unsigned sj : {1u, 8u}) {
+    std::remove(store_path.c_str());
+    auto store =
+        std::make_unique<exec::ResultStore>(store_path, sim::kRunStatsBytes);
+    exec::set_result_store(store.get());
+    const TimedRun cold = time_figure(store_case, kernels, sj);
+    // Reopen: the warm run must be served from the bytes on disk.
+    exec::set_result_store(nullptr);
+    store =
+        std::make_unique<exec::ResultStore>(store_path, sim::kRunStatsBytes);
+    exec::set_result_store(store.get());
+    const TimedRun warm = time_figure(store_case, kernels, sj);
+    exec::set_result_store(nullptr);
+    store.reset();
+    const bool identical = cold.csv == warm.csv;
+    store_identical = store_identical && identical;
+    const double speedup =
+        warm.wall_ms <= 0.0 ? 0.0 : cold.wall_ms / warm.wall_ms;
+    if (!store_entries.empty()) store_entries += ",\n";
+    store_entries += strprintf(
+        "      {\"jobs\": %u, \"cold\": %s,\n       \"warm\": %s,\n"
+        "       \"warm_speedup\": %.2f, \"identical_output\": %s}",
+        sj, run_json(cold).c_str(), run_json(warm).c_str(), speedup,
+        identical ? "true" : "false");
+    std::printf("store  %-14s cold %8.1f ms | warm(x%u) %8.1f ms | "
+                "x%.1f | %llu hits / %llu misses%s\n",
+                store_case.name, cold.wall_ms, sj, warm.wall_ms, speedup,
+                static_cast<unsigned long long>(warm.counts.memo_hits),
+                static_cast<unsigned long long>(warm.counts.memo_misses),
+                identical ? "" : "  [OUTPUT MISMATCH]");
+  }
+  std::remove(store_path.c_str());
+  const std::string store_json = strprintf(
+      "{\n    \"figure\": \"%s\",\n    \"runs\": [\n%s\n    ],\n"
+      "    \"identical_output\": %s\n  }",
+      store_case.name, store_entries.c_str(),
+      store_identical ? "true" : "false");
+  all_identical = all_identical && store_identical;
+
   const double total_speedup =
       parallel_total_ms <= 0.0 ? 0.0 : serial_total_ms / parallel_total_ms;
   const std::string json = strprintf(
@@ -392,11 +447,12 @@ int main(int argc, char** argv) {
       "  \"parallel_jobs\": %u,\n  \"figures\": [\n%s\n  ],\n"
       "  \"replay\": %s,\n"
       "  \"batch\": %s,\n"
+      "  \"store\": %s,\n"
       "  \"total\": {\"serial_wall_ms\": %.2f, \"parallel_wall_ms\": %.2f, "
       "\"speedup\": %.2f, \"identical_output\": %s}\n}\n",
       exec::hardware_jobs(), jobs, entries.c_str(), replay_json.c_str(),
-      batch_json.c_str(), serial_total_ms, parallel_total_ms, total_speedup,
-      all_identical ? "true" : "false");
+      batch_json.c_str(), store_json.c_str(), serial_total_ms,
+      parallel_total_ms, total_speedup, all_identical ? "true" : "false");
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {

@@ -28,6 +28,12 @@ class TraceIoError : public std::runtime_error {
   explicit TraceIoError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Current trace format version (written by write_trace; readers accept
+/// this and version 1). Also mixed into persistent result-store keys: a
+/// format bump invalidates memoized results whose generator semantics may
+/// have changed with it.
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
+
 /// Serializes `trace` to a stream / file. Throws TraceIoError on failure.
 void write_trace(std::ostream& out, const Trace& trace);
 void write_trace_file(const std::string& path, const Trace& trace);

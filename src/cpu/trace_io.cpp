@@ -12,7 +12,7 @@ namespace {
 
 constexpr std::uint64_t kMagic = 0x4543415254545453ULL;  // "STTTRACE"
 constexpr std::uint32_t kVersionNoValue = 1;  ///< ops without store payloads
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = kTraceFormatVersion;
 
 struct PackedOp {
   std::uint8_t kind;

@@ -1,0 +1,103 @@
+// Persistent, digest-keyed result store: the campaign-level memoization
+// layer behind `--store=PATH`.
+//
+// An on-disk append-only log of (key digest, fixed-size payload) records
+// plus an in-memory index. The experiment engine keys records by a stable
+// 64-bit digest of the *full* simulation input (experiments::
+// simulation_digest) and stores the complete encoded RunStats record, so a
+// warm re-run of a figure probes the store instead of simulating and a
+// one-parameter grid edit recomputes only the dirty points.
+//
+// Durability model — crash-safe, never abort:
+//  * every append writes one complete record and flushes it;
+//  * on load, a truncated tail (partial record) is dropped and the file is
+//    truncated back to the last complete record, so future appends stay
+//    record-aligned;
+//  * a complete record whose checksum does not match its bytes (bit rot,
+//    tampering) is skipped — the key simply misses and is recomputed;
+//  * a header with the wrong magic/schema/payload size invalidates the
+//    whole file: it is re-initialized empty (recompute everything, never
+//    refuse to run).
+//
+// The store is simulation-agnostic (payloads are opaque fixed-size byte
+// blobs) so the ThreadSanitizer exec test target can exercise it without
+// linking the simulation libraries.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sttsim::exec {
+
+class ResultStore {
+ public:
+  /// Bumped whenever the record layout OR the meaning of stored payloads
+  /// changes (e.g. RunStats gains a counter). Mixed into every simulation
+  /// digest as well, so schema changes invalidate keys and files alike.
+  static constexpr std::uint32_t kSchemaVersion = 1;
+
+  /// Opens (creating or loading) the store at `path`. `payload_bytes` is
+  /// the fixed record payload size; a file recorded with a different size
+  /// or schema is re-initialized empty. Throws std::runtime_error only if
+  /// the file cannot be opened for writing at all.
+  ResultStore(std::string path, std::size_t payload_bytes);
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::size_t payload_bytes() const { return payload_bytes_; }
+
+  /// Number of indexed (valid) records.
+  std::size_t entries() const;
+  /// Complete-but-corrupt records skipped during load (checksum mismatch).
+  std::size_t dropped_records() const { return dropped_; }
+  /// Bytes of truncated tail discarded during load.
+  std::size_t truncated_bytes() const { return truncated_; }
+
+  /// Copies the payload for `digest` into `out` (payload_bytes() long).
+  /// Returns false on miss. Thread-safe.
+  bool lookup(std::uint64_t digest, void* out) const;
+
+  /// True iff `digest` is present (no copy). Thread-safe.
+  bool contains(std::uint64_t digest) const;
+
+  /// Appends one record (payload_bytes() long) and indexes it. A digest
+  /// already present is ignored — first write wins, matching the engine's
+  /// deterministic outputs. Thread-safe; each record is written and flushed
+  /// atomically with respect to other appenders.
+  void append(std::uint64_t digest, const void* payload);
+
+ private:
+  void load_or_init();
+  void init_fresh();
+
+  std::string path_;
+  std::size_t payload_bytes_;
+  std::size_t record_bytes_;
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  // Fixed-size payloads live in one flat arena; the index maps digest ->
+  // arena offset. No per-record allocation, cheap snapshot-free reads under
+  // the mutex (lookups copy out).
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::vector<std::uint8_t> arena_;
+  std::size_t dropped_ = 0;
+  std::size_t truncated_ = 0;
+};
+
+/// Process-wide active store, consulted by experiments::run_grid and the
+/// CLI run paths (the benches' `--store=PATH` flag installs one; nullptr —
+/// the default — disables memoization entirely). Not owning.
+void set_result_store(ResultStore* store);
+ResultStore* result_store();
+
+}  // namespace sttsim::exec

@@ -13,10 +13,15 @@ struct TelemetrySnapshot {
   std::uint64_t simulations = 0;      ///< completed System::run calls
   std::uint64_t trace_ops = 0;        ///< trace operations replayed
   std::uint64_t traces_generated = 0; ///< kernel traces generated (not hits)
+  std::uint64_t memo_hits = 0;        ///< grid points served from the
+                                      ///< persistent result store
+  std::uint64_t memo_misses = 0;      ///< grid points simulated because the
+                                      ///< store had no (valid) record
 
   TelemetrySnapshot operator-(const TelemetrySnapshot& rhs) const {
     return {simulations - rhs.simulations, trace_ops - rhs.trace_ops,
-            traces_generated - rhs.traces_generated};
+            traces_generated - rhs.traces_generated,
+            memo_hits - rhs.memo_hits, memo_misses - rhs.memo_misses};
   }
 };
 
@@ -32,23 +37,33 @@ class Telemetry {
   void count_trace_generated() {
     traces_generated_.fetch_add(1, std::memory_order_relaxed);
   }
+  void count_memo_hit() { memo_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void count_memo_miss() {
+    memo_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   TelemetrySnapshot snapshot() const {
     return {simulations_.load(std::memory_order_relaxed),
             trace_ops_.load(std::memory_order_relaxed),
-            traces_generated_.load(std::memory_order_relaxed)};
+            traces_generated_.load(std::memory_order_relaxed),
+            memo_hits_.load(std::memory_order_relaxed),
+            memo_misses_.load(std::memory_order_relaxed)};
   }
 
   void reset() {
     simulations_.store(0, std::memory_order_relaxed);
     trace_ops_.store(0, std::memory_order_relaxed);
     traces_generated_.store(0, std::memory_order_relaxed);
+    memo_hits_.store(0, std::memory_order_relaxed);
+    memo_misses_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<std::uint64_t> simulations_{0};
   std::atomic<std::uint64_t> trace_ops_{0};
   std::atomic<std::uint64_t> traces_generated_{0};
+  std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> memo_misses_{0};
 };
 
 }  // namespace sttsim::exec

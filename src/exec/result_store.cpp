@@ -1,0 +1,182 @@
+#include "sttsim/exec/result_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "sttsim/util/hash.hpp"
+
+namespace sttsim::exec {
+namespace {
+
+// "STTRSLT1" — result-store log, format generation 1. The schema version in
+// the header (not the magic) tracks payload-meaning changes.
+constexpr std::uint64_t kMagic = 0x31544c5352545453ULL;
+
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8;  // magic, schema, payload, check
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::atomic<ResultStore*> g_store{nullptr};
+
+}  // namespace
+
+void set_result_store(ResultStore* store) {
+  g_store.store(store, std::memory_order_release);
+}
+
+ResultStore* result_store() { return g_store.load(std::memory_order_acquire); }
+
+ResultStore::ResultStore(std::string path, std::size_t payload_bytes)
+    : path_(std::move(path)),
+      payload_bytes_(payload_bytes),
+      // digest u64 + payload + checksum u64 over (digest || payload)
+      record_bytes_(8 + payload_bytes + 8) {
+  load_or_init();
+}
+
+ResultStore::~ResultStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::size_t ResultStore::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+void ResultStore::init_fresh() {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("result store: cannot create " + path_);
+  }
+  std::uint8_t header[kHeaderBytes];
+  put_u64(header, kMagic);
+  put_u32(header + 8, kSchemaVersion);
+  put_u32(header + 12, static_cast<std::uint32_t>(payload_bytes_));
+  put_u64(header + 16, util::hash_bytes(header, 16));
+  std::fwrite(header, 1, sizeof header, file_);
+  std::fflush(file_);
+}
+
+void ResultStore::load_or_init() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) {
+    init_fresh();
+    return;
+  }
+
+  // Header: wrong magic / schema / payload size / checksum invalidates the
+  // whole file — recompute everything rather than misread old records.
+  std::uint8_t header[kHeaderBytes];
+  bool header_ok = std::fread(header, 1, sizeof header, in) == sizeof header &&
+                   get_u64(header) == kMagic &&
+                   get_u32(header + 8) == kSchemaVersion &&
+                   get_u32(header + 12) == payload_bytes_ &&
+                   get_u64(header + 16) == util::hash_bytes(header, 16);
+  if (!header_ok) {
+    std::fclose(in);
+    init_fresh();
+    return;
+  }
+
+  // Records: index every complete record whose checksum matches; skip (but
+  // keep in place, preserving alignment) complete corrupt ones; drop the
+  // truncated tail.
+  std::vector<std::uint8_t> rec(record_bytes_);
+  std::size_t good_end = kHeaderBytes;
+  while (true) {
+    const std::size_t got = std::fread(rec.data(), 1, record_bytes_, in);
+    if (got < record_bytes_) {
+      truncated_ = got;
+      break;
+    }
+    good_end += record_bytes_;
+    const std::uint64_t check = get_u64(rec.data() + 8 + payload_bytes_);
+    if (check != util::hash_bytes(rec.data(), 8 + payload_bytes_)) {
+      dropped_ += 1;
+      continue;
+    }
+    const std::uint64_t digest = get_u64(rec.data());
+    if (index_.count(digest) != 0) continue;  // first write wins
+    index_.emplace(digest, arena_.size());
+    arena_.insert(arena_.end(), rec.begin() + 8,
+                  rec.begin() + 8 + static_cast<std::ptrdiff_t>(payload_bytes_));
+  }
+  std::fclose(in);
+
+  // Reopen for appending, truncated back to the last complete record so
+  // future appends stay record-aligned.
+  file_ = std::fopen(path_.c_str(), "r+b");
+  if (file_ == nullptr) {
+    throw std::runtime_error("result store: cannot open " + path_ +
+                             " for append");
+  }
+  if (truncated_ != 0) {
+    if (ftruncate(fileno(file_), static_cast<off_t>(good_end)) != 0) {
+      // Cannot truncate (exotic filesystem): fall back to rewriting the log
+      // from the indexed records — still never abort.
+      std::fclose(file_);
+      file_ = nullptr;
+      init_fresh();
+      for (const auto& [digest, offset] : index_) {
+        std::vector<std::uint8_t> out(record_bytes_);
+        put_u64(out.data(), digest);
+        std::memcpy(out.data() + 8, arena_.data() + offset, payload_bytes_);
+        put_u64(out.data() + 8 + payload_bytes_,
+                util::hash_bytes(out.data(), 8 + payload_bytes_));
+        std::fwrite(out.data(), 1, out.size(), file_);
+      }
+      std::fflush(file_);
+      return;
+    }
+  }
+  std::fseek(file_, 0, SEEK_END);
+}
+
+bool ResultStore::lookup(std::uint64_t digest, void* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(digest);
+  if (it == index_.end()) return false;
+  std::memcpy(out, arena_.data() + it->second, payload_bytes_);
+  return true;
+}
+
+bool ResultStore::contains(std::uint64_t digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.find(digest) != index_.end();
+}
+
+void ResultStore::append(std::uint64_t digest, const void* payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.count(digest) != 0) return;  // first write wins
+  std::vector<std::uint8_t> rec(record_bytes_);
+  put_u64(rec.data(), digest);
+  std::memcpy(rec.data() + 8, payload, payload_bytes_);
+  put_u64(rec.data() + 8 + payload_bytes_,
+          util::hash_bytes(rec.data(), 8 + payload_bytes_));
+  std::fwrite(rec.data(), 1, rec.size(), file_);
+  std::fflush(file_);
+  index_.emplace(digest, arena_.size());
+  const auto* p = static_cast<const std::uint8_t*>(payload);
+  arena_.insert(arena_.end(), p, p + payload_bytes_);
+}
+
+}  // namespace sttsim::exec

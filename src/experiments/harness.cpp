@@ -1,11 +1,15 @@
 #include "sttsim/experiments/harness.hpp"
 
+#include <cstdio>
 #include <tuple>
 
 #include "sttsim/cpu/batch_replay.hpp"
+#include "sttsim/cpu/trace_io.hpp"
 #include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/exec/result_store.hpp"
 #include "sttsim/exec/telemetry.hpp"
 #include "sttsim/util/check.hpp"
+#include "sttsim/util/hash.hpp"
 
 namespace sttsim::experiments {
 namespace {
@@ -15,7 +19,91 @@ auto codegen_tuple(const workloads::CodegenOptions& o) {
                          o.prefetch_distance_bytes, o.branch_opts);
 }
 
+// ---- Simulation-input digests (persistent result-store keys) ----------
+//
+// Every field that can change what the simulator is handed is folded into
+// the digest through the explicitly-encoded streaming hasher. Cosmetic
+// fields (TechnologyParams::label) are deliberately excluded: they cannot
+// change a single counter, so editing a label must not dirty a campaign.
+
+void hash_codegen(util::Hash64& h, const workloads::CodegenOptions& o) {
+  h.boolean(o.vectorize)
+      .u32(o.vector_width)
+      .boolean(o.prefetch)
+      .u64(o.prefetch_distance_bytes)
+      .boolean(o.branch_opts);
+}
+
+void hash_technology(util::Hash64& h, const tech::TechnologyParams& t) {
+  h.u8(static_cast<std::uint8_t>(t.tech))
+      .f64(t.read_latency_ns)
+      .f64(t.write_latency_ns)
+      .f64(t.leakage_mw)
+      .f64(t.cell_area_f2)
+      .u64(t.capacity_bytes)
+      .u32(t.associativity)
+      .u32(t.line_bits)
+      .f64(t.read_energy_nj)
+      .f64(t.write_energy_nj);
+}
+
+void hash_system_config(util::Hash64& h, const cpu::SystemConfig& c) {
+  h.u8(static_cast<std::uint8_t>(c.organization))
+      .f64(c.clock_ghz)
+      .u32(c.vwb_total_kbit)
+      .u32(c.vwb_lines)
+      .u32(c.nvm_banks)
+      .u32(c.store_buffer_depth)
+      .u32(c.writeback_buffer_depth)
+      .u32(c.mshr_entries);
+  hash_technology(h, c.sram);
+  hash_technology(h, c.stt);
+  h.u64(c.l2.capacity_bytes)
+      .u32(c.l2.associativity)
+      .u64(c.l2.line_bytes)
+      .u64(c.l2.hit_latency)
+      .u64(c.l2.port_occupancy)
+      .u64(c.l2.memory_latency);
+}
+
+/// Version preamble shared by both digest flavors: a record written under
+/// any different hash/store/trace-format generation can never match.
+util::Hash64 digest_base() {
+  util::Hash64 h;
+  h.u32(util::kHashVersion)
+      .u32(exec::ResultStore::kSchemaVersion)
+      .u32(cpu::kTraceFormatVersion);
+  return h;
+}
+
 }  // namespace
+
+std::uint64_t simulation_digest(std::string_view kernel_name,
+                                const workloads::CodegenOptions& opts,
+                                const cpu::SystemConfig& config) {
+  util::Hash64 h = digest_base();
+  h.u8(0);  // key flavor: named suite kernel
+  h.str(kernel_name);
+  hash_codegen(h, opts);
+  hash_system_config(h, config);
+  return h.digest();
+}
+
+std::uint64_t simulation_digest(const cpu::Trace& trace,
+                                const cpu::SystemConfig& config) {
+  util::Hash64 h = digest_base();
+  h.u8(1);  // key flavor: external trace content
+  h.u64(trace.size());
+  for (const cpu::TraceOp& op : trace) {
+    h.u8(static_cast<std::uint8_t>(op.kind))
+        .u8(op.size)
+        .u32(op.count)
+        .u64(op.addr)
+        .u64(op.value);
+  }
+  hash_system_config(h, config);
+  return h.digest();
+}
 
 double penalty_pct(const sim::RunStats& variant,
                    const sim::RunStats& baseline) {
@@ -56,91 +144,155 @@ const CachedWorkload& TraceCache::get_workload(
 sim::RunStats run_kernel(TraceCache& cache, const workloads::Kernel& kernel,
                          const cpu::SystemConfig& config,
                          const workloads::CodegenOptions& opts) {
+  exec::ResultStore* store = exec::result_store();
+  std::uint64_t digest = 0;
+  if (store != nullptr) {
+    digest = simulation_digest(kernel.name, opts, config);
+    std::uint8_t payload[sim::kRunStatsBytes];
+    if (store->lookup(digest, payload)) {
+      exec::Telemetry::instance().count_memo_hit();
+      return sim::decode_run_stats(payload);
+    }
+    exec::Telemetry::instance().count_memo_miss();
+  }
   const CachedWorkload& workload = cache.get_workload(kernel, opts);
   cpu::System system(config);
   const sim::RunStats stats = system.run(workload.decoded);
   exec::Telemetry::instance().count_simulation(workload.decoded.size());
+  if (store != nullptr) {
+    std::uint8_t payload[sim::kRunStatsBytes];
+    sim::encode_run_stats(stats, payload);
+    store->append(digest, payload);
+  }
   return stats;
 }
 
 namespace {
 
-/// The batched grid schedule: grid points grouped by codegen (same trace),
-/// then split into same-organization-class lane sets of at most
-/// exec::default_batch() configurations (cpu::partition_batches). Each task
-/// replays one (kernel x lane-set) in a single compressed-trace pass and
-/// scatters per-lane results back to the deterministic out[j][k] order.
-std::vector<std::vector<sim::RunStats>> run_grid_batched(
-    TraceCache& cache, const std::vector<workloads::Kernel>& kernels,
-    const std::vector<SuiteJob>& jobs, unsigned batch) {
-  const std::size_t n_kernels = kernels.size();
+/// One grid point still to simulate: jobs[j] on kernels[k]. `digest` is the
+/// point's result-store key (0 and unused when no store is active).
+struct GridPoint {
+  std::size_t j = 0;
+  std::size_t k = 0;
+  std::uint64_t digest = 0;
+};
 
-  // Group job indices by codegen options (first-appearance order): lanes of
-  // one batch must replay the identical trace.
+void store_append(exec::ResultStore* store, std::uint64_t digest,
+                  const sim::RunStats& stats) {
+  if (store == nullptr) return;
+  std::uint8_t payload[sim::kRunStatsBytes];
+  sim::encode_run_stats(stats, payload);
+  store->append(digest, payload);
+}
+
+/// Runs `points` as one pool task each (the unbatched PR 5 replay path,
+/// in the given order — j-major for a full grid, matching the historical
+/// serial loops) and scatters results into out[j][k]. Completed misses
+/// append to the store from inside their task, so an interrupted campaign
+/// keeps every point it finished.
+void run_points_solo(TraceCache& cache,
+                     const std::vector<workloads::Kernel>& kernels,
+                     const std::vector<SuiteJob>& jobs,
+                     const std::vector<GridPoint>& points,
+                     exec::ResultStore* store,
+                     std::vector<std::vector<sim::RunStats>>& out) {
+  exec::ParallelExecutor pool;
+  const std::vector<sim::RunStats> flat =
+      pool.map(points.size(), [&](std::size_t i) {
+        const GridPoint& p = points[i];
+        const SuiteJob& job = jobs[p.j];
+        const cpu::DecodedTrace& trace =
+            cache.get_decoded(kernels[p.k], job.opts);
+        cpu::System system(job.config, cpu::System::kPrevalidated);
+        const sim::RunStats stats = system.run(trace);
+        exec::Telemetry::instance().count_simulation(trace.size());
+        store_append(store, p.digest, stats);
+        return stats;
+      });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out[points[i].j][points[i].k] = flat[i];
+  }
+}
+
+/// The batched grid schedule: `points` grouped by (kernel x codegen) — all
+/// lanes of one pass must replay the identical trace — then split into
+/// same-organization-class lane sets of at most `batch` configurations
+/// (cpu::partition_batches). Each task replays one lane set in a single
+/// compressed-trace pass and scatters per-lane results back to the
+/// deterministic out[j][k] positions; per-lane results are bit-identical
+/// to the solo path regardless of how points are partitioned, so a store-
+/// thinned (miss-only) point set changes the schedule, never the numbers.
+void run_points_batched(TraceCache& cache,
+                        const std::vector<workloads::Kernel>& kernels,
+                        const std::vector<SuiteJob>& jobs,
+                        const std::vector<GridPoint>& points, unsigned batch,
+                        exec::ResultStore* store,
+                        std::vector<std::vector<sim::RunStats>>& out) {
+  // Codegen group of every job (first-appearance order).
   std::vector<const workloads::CodegenOptions*> group_opts;
-  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::size_t> job_group(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     std::size_t g = 0;
-    while (g < groups.size() &&
+    while (g < group_opts.size() &&
            codegen_tuple(*group_opts[g]) != codegen_tuple(jobs[j].opts)) {
       ++g;
     }
-    if (g == groups.size()) {
-      group_opts.push_back(&jobs[j].opts);
-      groups.emplace_back();
-    }
-    groups[g].push_back(j);
+    if (g == group_opts.size()) group_opts.push_back(&jobs[j].opts);
+    job_group[j] = g;
   }
 
-  // Expand every group into (kernel x lane-set) tasks.
-  struct BatchTask {
-    std::vector<std::size_t> lanes;  ///< global job indices, batch order
-    std::size_t kernel = 0;
-  };
-  std::vector<BatchTask> tasks;
-  for (const std::vector<std::size_t>& group : groups) {
+  // Bucket point indices by (kernel, codegen group), preserving order.
+  const std::size_t n_groups = group_opts.size();
+  std::vector<std::vector<std::size_t>> buckets(kernels.size() * n_groups);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    buckets[points[i].k * n_groups + job_group[points[i].j]].push_back(i);
+  }
+
+  // Split every bucket into same-class lane sets of at most `batch` lanes.
+  std::vector<std::vector<std::size_t>> tasks;  // indices into `points`
+  for (const std::vector<std::size_t>& bucket : buckets) {
+    if (bucket.empty()) continue;
     std::vector<cpu::SystemConfig> configs;
-    configs.reserve(group.size());
-    for (const std::size_t j : group) configs.push_back(jobs[j].config);
+    configs.reserve(bucket.size());
+    for (const std::size_t i : bucket) configs.push_back(jobs[points[i].j].config);
     for (std::vector<std::size_t>& part :
          cpu::partition_batches(configs, batch)) {
-      for (std::size_t& local : part) local = group[local];
-      for (std::size_t k = 0; k < n_kernels; ++k) {
-        tasks.push_back({part, k});
-      }
+      for (std::size_t& local : part) local = bucket[local];
+      tasks.push_back(std::move(part));
     }
   }
 
   exec::ParallelExecutor pool;
   const std::vector<std::vector<sim::RunStats>> results =
       pool.map(tasks.size(), [&](std::size_t t) {
-        const BatchTask& task = tasks[t];
-        const CachedWorkload& workload = cache.get_workload(
-            kernels[task.kernel], jobs[task.lanes.front()].opts);
+        const std::vector<std::size_t>& task = tasks[t];
+        const GridPoint& first = points[task.front()];
+        const CachedWorkload& workload =
+            cache.get_workload(kernels[first.k], jobs[first.j].opts);
         std::vector<cpu::System> systems;
-        systems.reserve(task.lanes.size());
-        for (const std::size_t j : task.lanes) {
-          systems.emplace_back(jobs[j].config, cpu::System::kPrevalidated);
+        systems.reserve(task.size());
+        for (const std::size_t i : task) {
+          systems.emplace_back(jobs[points[i].j].config,
+                               cpu::System::kPrevalidated);
         }
         std::vector<cpu::System*> lanes;
         lanes.reserve(systems.size());
         for (cpu::System& s : systems) lanes.push_back(&s);
         std::vector<sim::RunStats> stats =
             cpu::System::run_batch(workload.compressed, lanes);
-        for (std::size_t i = 0; i < lanes.size(); ++i) {
+        for (std::size_t i = 0; i < task.size(); ++i) {
           exec::Telemetry::instance().count_simulation(workload.decoded.size());
+          store_append(store, points[task[i]].digest, stats[i]);
         }
         return stats;
       });
 
-  std::vector<std::vector<sim::RunStats>> out(
-      jobs.size(), std::vector<sim::RunStats>(n_kernels));
   for (std::size_t t = 0; t < tasks.size(); ++t) {
-    for (std::size_t i = 0; i < tasks[t].lanes.size(); ++i) {
-      out[tasks[t].lanes[i]][tasks[t].kernel] = results[t][i];
+    for (std::size_t i = 0; i < tasks[t].size(); ++i) {
+      const GridPoint& p = points[tasks[t][i]];
+      out[p.j][p.k] = results[t][i];
     }
   }
-  return out;
 }
 
 }  // namespace
@@ -152,26 +304,50 @@ std::vector<std::vector<sim::RunStats>> run_grid(
   // point: the jobs then construct Systems on the pre-validated path.
   for (const SuiteJob& job : jobs) job.config.validate();
   const std::size_t n_kernels = kernels.size();
-  if (const unsigned batch = exec::default_batch(); batch > 1) {
-    return run_grid_batched(cache, kernels, jobs, batch);
-  }
-  exec::ParallelExecutor pool;
-  std::vector<sim::RunStats> flat =
-      pool.map(jobs.size() * n_kernels, [&](std::size_t idx) {
-        const SuiteJob& job = jobs[idx / n_kernels];
-        const workloads::Kernel& kernel = kernels[idx % n_kernels];
-        const cpu::DecodedTrace& trace = cache.get_decoded(kernel, job.opts);
-        cpu::System system(job.config, cpu::System::kPrevalidated);
-        const sim::RunStats stats = system.run(trace);
-        exec::Telemetry::instance().count_simulation(trace.size());
-        return stats;
-      });
-  std::vector<std::vector<sim::RunStats>> out;
-  out.reserve(jobs.size());
+
+  // Probe the persistent result store (when active) for every point up
+  // front: probes are cheap (a digest and a map lookup — no trace is
+  // generated or decoded), hits land in their deterministic out[j][k]
+  // positions immediately, and only the misses become pool tasks. Keeping
+  // known results out of the task list eliminates head-of-line blocking on
+  // a mostly-warm grid: the pool's whole width goes to the dirty slice.
+  exec::ResultStore* store = exec::result_store();
+  std::vector<std::vector<sim::RunStats>> out(
+      jobs.size(), std::vector<sim::RunStats>(n_kernels));
+  std::vector<GridPoint> points;
+  points.reserve(jobs.size() * n_kernels);
+  std::size_t hits = 0;
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    out.emplace_back(flat.begin() + static_cast<std::ptrdiff_t>(j * n_kernels),
-                     flat.begin() +
-                         static_cast<std::ptrdiff_t>((j + 1) * n_kernels));
+    for (std::size_t k = 0; k < n_kernels; ++k) {
+      GridPoint p{j, k, 0};
+      if (store != nullptr) {
+        p.digest =
+            simulation_digest(kernels[k].name, jobs[j].opts, jobs[j].config);
+        std::uint8_t payload[sim::kRunStatsBytes];
+        if (store->lookup(p.digest, payload)) {
+          out[j][k] = sim::decode_run_stats(payload);
+          exec::Telemetry::instance().count_memo_hit();
+          ++hits;
+          continue;
+        }
+        exec::Telemetry::instance().count_memo_miss();
+      }
+      points.push_back(p);
+    }
+  }
+
+  if (!points.empty()) {
+    if (const unsigned batch = exec::default_batch(); batch > 1) {
+      run_points_batched(cache, kernels, jobs, points, batch, store, out);
+    } else {
+      run_points_solo(cache, kernels, jobs, points, store, out);
+    }
+  }
+  if (store != nullptr) {
+    std::fprintf(
+        stderr,
+        "[sttsim] result store %s: %zu/%zu grid points warm, %zu simulated\n",
+        store->path().c_str(), hits, jobs.size() * n_kernels, points.size());
   }
   return out;
 }

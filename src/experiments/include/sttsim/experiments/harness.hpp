@@ -3,6 +3,7 @@
 // and cache generated traces.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -87,7 +88,27 @@ class TraceCache {
   exec::ConcurrentMemoCache<Key, CachedWorkload, KeyLess> cache_;
 };
 
+/// Stable 64-bit digest of the *full* simulation input of one grid point:
+/// kernel identity, codegen options, DL1 organization geometry, technology
+/// and latency parameters, L2 configuration — plus the trace-format
+/// version, the result-store schema version, and the hash algorithm
+/// version, so any semantic or layout change invalidates old keys instead
+/// of silently matching them. This is the persistent result store's key
+/// (exec::ResultStore): equal digests certify "the simulator would be
+/// handed bit-identical inputs".
+std::uint64_t simulation_digest(std::string_view kernel_name,
+                                const workloads::CodegenOptions& opts,
+                                const cpu::SystemConfig& config);
+
+/// Same key space for externally captured traces (the CLI's --trace-in):
+/// kernel identity is replaced by a content digest over every trace op.
+std::uint64_t simulation_digest(const cpu::Trace& trace,
+                                const cpu::SystemConfig& config);
+
 /// Runs one kernel on one system configuration with the given codegen.
+/// When a persistent result store is active (exec::set_result_store), the
+/// store is probed first — a hit bypasses the simulation entirely — and
+/// computed results are appended for the next run.
 sim::RunStats run_kernel(TraceCache& cache, const workloads::Kernel& kernel,
                          const cpu::SystemConfig& config,
                          const workloads::CodegenOptions& opts);
@@ -112,6 +133,17 @@ struct SuiteJob {
 /// configurations at once (cpu::System::run_batch). The batched engine's
 /// per-lane call sequence is identical to the solo replay, so results stay
 /// byte-identical to --batch=1 — only the schedule changes.
+///
+/// When a persistent result store is active (exec::set_result_store; the
+/// benches' --store=PATH flag), every point's digest is probed up front:
+/// hits are filled into the deterministic result positions immediately
+/// (bypassing trace generation and simulation; counted as memo_hits) and
+/// only the misses are partitioned into pool tasks (counted as
+/// memo_misses), so a mostly-warm grid spends no pool time on already-known
+/// results and a one-parameter edit recomputes only the dirty slice. Each
+/// miss appends its record as its task completes. Warm results decode to
+/// bit-identical RunStats, so figure outputs are byte-identical cold vs
+/// warm at any --jobs/--batch combination.
 std::vector<std::vector<sim::RunStats>> run_grid(
     TraceCache& cache, const std::vector<workloads::Kernel>& kernels,
     const std::vector<SuiteJob>& jobs);

@@ -6,6 +6,7 @@
 // hit rates.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -86,5 +87,17 @@ std::string to_string(const RunStats& s);
 
 /// Flat JSON object with every counter (stable keys; for tooling).
 std::string to_json(const RunStats& s);
+
+/// Canonical fixed-size binary encoding of RunStats: every CoreStats and
+/// MemStats counter as a little-endian u64, in declaration order. This is
+/// the persistent result store's record payload, so the layout is part of
+/// the store schema: adding/reordering a counter MUST bump
+/// exec::ResultStore::kSchemaVersion. encode/decode are exact inverses
+/// (all counters are integers — no rounding).
+inline constexpr std::size_t kRunStatsWords = 7 + 20;  // core + mem counters
+inline constexpr std::size_t kRunStatsBytes = kRunStatsWords * 8;
+
+void encode_run_stats(const RunStats& s, std::uint8_t* out);  ///< kRunStatsBytes
+RunStats decode_run_stats(const std::uint8_t* in);            ///< kRunStatsBytes
 
 }  // namespace sttsim::sim

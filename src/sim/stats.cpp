@@ -1,5 +1,6 @@
 #include "sttsim/sim/stats.hpp"
 
+#include "sttsim/util/check.hpp"
 #include "sttsim/util/text.hpp"
 
 namespace sttsim::sim {
@@ -93,6 +94,68 @@ std::string to_json(const RunStats& s) {
   add("l2_array_writes", u(s.mem.l2_array_writes));
   add("bank_conflict_cycles", u(s.mem.bank_conflict_cycles));
   return "{" + join(fields, ",") + "}";
+}
+
+namespace {
+
+/// Visits every counter of `s` in declaration order — the single source of
+/// truth for the canonical binary layout, shared by encode and decode so
+/// they cannot drift apart.
+template <typename Stats, typename F>
+void for_each_counter(Stats& s, F&& f) {
+  f(s.core.instructions);
+  f(s.core.mem_instructions);
+  f(s.core.exec_cycles);
+  f(s.core.read_stall_cycles);
+  f(s.core.write_stall_cycles);
+  f(s.core.structural_stall_cycles);
+  f(s.core.total_cycles);
+  f(s.mem.loads);
+  f(s.mem.stores);
+  f(s.mem.prefetches);
+  f(s.mem.front_hits);
+  f(s.mem.front_misses);
+  f(s.mem.front_store_hits);
+  f(s.mem.promotions);
+  f(s.mem.front_writebacks);
+  f(s.mem.prefetch_hits);
+  f(s.mem.l1_read_hits);
+  f(s.mem.l1_write_hits);
+  f(s.mem.l1_misses);
+  f(s.mem.l1_writebacks);
+  f(s.mem.l2_hits);
+  f(s.mem.l2_misses);
+  f(s.mem.l1_array_reads);
+  f(s.mem.l1_array_writes);
+  f(s.mem.l2_array_reads);
+  f(s.mem.l2_array_writes);
+  f(s.mem.bank_conflict_cycles);
+}
+
+}  // namespace
+
+void encode_run_stats(const RunStats& s, std::uint8_t* out) {
+  std::size_t n = 0;
+  for_each_counter(s, [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out[n++] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  });
+  // Compile-time word count and the visited field count must agree.
+  STTSIM_CHECK(n == kRunStatsBytes);
+}
+
+RunStats decode_run_stats(const std::uint8_t* in) {
+  RunStats s;
+  std::size_t n = 0;
+  for_each_counter(s, [&](std::uint64_t& v) {
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(in[n++]) << (8 * i);
+    }
+  });
+  STTSIM_CHECK(n == kRunStatsBytes);
+  return s;
 }
 
 }  // namespace sttsim::sim

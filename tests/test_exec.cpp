@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <cstdio>
 #include <latch>
 #include <stdexcept>
 #include <string>
@@ -17,6 +19,7 @@
 
 #include "sttsim/exec/memo_cache.hpp"
 #include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/exec/result_store.hpp"
 #include "sttsim/exec/telemetry.hpp"
 
 namespace sttsim::exec {
@@ -181,6 +184,53 @@ TEST(Telemetry, CountsFromWorkerThreadsAreNotLost) {
   const TelemetrySnapshot delta = t.snapshot() - before;
   EXPECT_EQ(delta.simulations, 100u);
   EXPECT_EQ(delta.trace_ops, 1000u);
+}
+
+TEST(Telemetry, MemoCountersAccumulate) {
+  Telemetry& t = Telemetry::instance();
+  const TelemetrySnapshot before = t.snapshot();
+  t.count_memo_hit();
+  t.count_memo_hit();
+  t.count_memo_miss();
+  const TelemetrySnapshot delta = t.snapshot() - before;
+  EXPECT_EQ(delta.memo_hits, 2u);
+  EXPECT_EQ(delta.memo_misses, 1u);
+}
+
+// The grid engine's miss tasks append from pool workers while other tasks
+// look up concurrently; this shape (8 workers, interleaved append + lookup
+// + contended duplicate appends) runs under ThreadSanitizer via the
+// test_exec_tsan target.
+TEST(ResultStoreConcurrency, PoolWorkersAppendAndLookupRaceFree) {
+  const std::string path =
+      ::testing::TempDir() + "sttsim_store_exec_tsan.bin";
+  std::remove(path.c_str());
+  constexpr std::size_t kPayload = 32;
+  constexpr std::size_t kPoints = 256;
+  {
+    ResultStore store(path, kPayload);
+    set_result_store(&store);
+    EXPECT_EQ(result_store(), &store);
+    ParallelExecutor pool(8);
+    pool.map(kPoints, [&](std::size_t i) {
+      std::uint8_t payload[kPayload];
+      for (std::size_t b = 0; b < kPayload; ++b) {
+        payload[b] = static_cast<std::uint8_t>(i + b);
+      }
+      store.append(i, payload);
+      store.append(1ull << 40, payload);  // contended: first write wins
+      std::uint8_t out[kPayload];
+      EXPECT_TRUE(store.lookup(i, out));
+      EXPECT_EQ(out[0], static_cast<std::uint8_t>(i));
+      return 0;
+    });
+    set_result_store(nullptr);
+    EXPECT_EQ(store.entries(), kPoints + 1);
+  }
+  ResultStore reopened(path, kPayload);
+  EXPECT_EQ(reopened.entries(), kPoints + 1);
+  EXPECT_EQ(reopened.dropped_records(), 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,454 @@
+// Tests: the persistent result store (exec/result_store) and the
+// incremental grid recomputation built on it — durability (truncated tail,
+// tampered records, wrong schema), concurrency, and the engine-level
+// invariant that warm results are byte-identical to cold ones at any pool
+// width, with a one-parameter grid edit recomputing only the dirty points.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/exec/result_store.hpp"
+#include "sttsim/exec/telemetry.hpp"
+#include "sttsim/experiments/harness.hpp"
+#include "sttsim/sim/stats.hpp"
+#include "sttsim/workloads/suite.hpp"
+
+namespace sttsim {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 24;           // magic, schema, size, check
+constexpr std::size_t kTestPayload = 16;
+constexpr std::size_t kTestRecord = 8 + kTestPayload + 8;
+
+std::string temp_store_path(const char* name) {
+  return ::testing::TempDir() + "sttsim_store_" + name + ".bin";
+}
+
+std::vector<std::uint8_t> make_payload(std::uint8_t seed) {
+  std::vector<std::uint8_t> p(kTestPayload);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = static_cast<std::uint8_t>(seed + i);
+  }
+  return p;
+}
+
+/// Overwrites one byte of the file in place (tampering helper).
+void flip_byte(const std::string& path, std::size_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.get(c);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(c ^ 0x5a));
+}
+
+TEST(ResultStore, RoundTripAndReopenFromDisk) {
+  const std::string path = temp_store_path("roundtrip");
+  std::remove(path.c_str());
+  {
+    exec::ResultStore store(path, kTestPayload);
+    EXPECT_EQ(store.entries(), 0u);
+    for (std::uint8_t i = 1; i <= 5; ++i) {
+      store.append(1000 + i, make_payload(i).data());
+    }
+    EXPECT_EQ(store.entries(), 5u);
+    std::uint8_t out[kTestPayload];
+    EXPECT_TRUE(store.lookup(1003, out));
+    EXPECT_EQ(std::vector<std::uint8_t>(out, out + kTestPayload),
+              make_payload(3));
+    EXPECT_FALSE(store.lookup(9999, out));
+  }
+  // Reopen: everything must come back from the bytes on disk.
+  exec::ResultStore store(path, kTestPayload);
+  EXPECT_EQ(store.entries(), 5u);
+  EXPECT_EQ(store.dropped_records(), 0u);
+  EXPECT_EQ(store.truncated_bytes(), 0u);
+  std::uint8_t out[kTestPayload];
+  for (std::uint8_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(store.lookup(1000 + i, out));
+    EXPECT_EQ(std::vector<std::uint8_t>(out, out + kTestPayload),
+              make_payload(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, FirstWriteWins) {
+  const std::string path = temp_store_path("firstwrite");
+  std::remove(path.c_str());
+  exec::ResultStore store(path, kTestPayload);
+  store.append(42, make_payload(1).data());
+  store.append(42, make_payload(2).data());  // ignored
+  EXPECT_EQ(store.entries(), 1u);
+  std::uint8_t out[kTestPayload];
+  ASSERT_TRUE(store.lookup(42, out));
+  EXPECT_EQ(std::vector<std::uint8_t>(out, out + kTestPayload),
+            make_payload(1));
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, TruncatedTailIsDroppedAndFileRealigned) {
+  const std::string path = temp_store_path("truncated");
+  std::remove(path.c_str());
+  {
+    exec::ResultStore store(path, kTestPayload);
+    for (std::uint8_t i = 1; i <= 3; ++i) {
+      store.append(i, make_payload(i).data());
+    }
+  }
+  // Chop the third record in half — a crash mid-append.
+  std::filesystem::resize_file(path,
+                               kHeaderBytes + 2 * kTestRecord + kTestRecord / 2);
+  {
+    exec::ResultStore store(path, kTestPayload);
+    EXPECT_EQ(store.entries(), 2u);
+    EXPECT_EQ(store.truncated_bytes(), kTestRecord / 2);
+    std::uint8_t out[kTestPayload];
+    EXPECT_TRUE(store.lookup(1, out));
+    EXPECT_TRUE(store.lookup(2, out));
+    EXPECT_FALSE(store.lookup(3, out));
+    // Appending after recovery must stay record-aligned.
+    store.append(4, make_payload(4).data());
+  }
+  exec::ResultStore store(path, kTestPayload);
+  EXPECT_EQ(store.entries(), 3u);
+  EXPECT_EQ(store.truncated_bytes(), 0u);
+  std::uint8_t out[kTestPayload];
+  EXPECT_TRUE(store.lookup(4, out));
+  EXPECT_EQ(std::vector<std::uint8_t>(out, out + kTestPayload),
+            make_payload(4));
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, WrongSchemaVersionReinitializesEmpty) {
+  const std::string path = temp_store_path("schema");
+  std::remove(path.c_str());
+  {
+    exec::ResultStore store(path, kTestPayload);
+    store.append(7, make_payload(7).data());
+  }
+  flip_byte(path, 8);  // schema-version field of the header
+  {
+    exec::ResultStore store(path, kTestPayload);
+    EXPECT_EQ(store.entries(), 0u);  // old records invalidated wholesale
+    store.append(8, make_payload(8).data());
+  }
+  exec::ResultStore store(path, kTestPayload);
+  EXPECT_EQ(store.entries(), 1u);
+  EXPECT_FALSE(store.contains(7));
+  EXPECT_TRUE(store.contains(8));
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, MismatchedPayloadSizeReinitializesEmpty) {
+  const std::string path = temp_store_path("payloadsize");
+  std::remove(path.c_str());
+  {
+    exec::ResultStore store(path, kTestPayload);
+    store.append(7, make_payload(7).data());
+  }
+  exec::ResultStore store(path, kTestPayload * 2);
+  EXPECT_EQ(store.entries(), 0u);
+  std::remove(path.c_str());
+}
+
+// Hit poisoning: a tampered record's checksum no longer matches, so the key
+// must MISS (forcing a recompute) rather than serve corrupt bytes. Records
+// after the tampered one stay readable (alignment preserved).
+TEST(ResultStore, TamperedRecordMissesInsteadOfServingCorruptBytes) {
+  const std::string path = temp_store_path("tampered");
+  std::remove(path.c_str());
+  {
+    exec::ResultStore store(path, kTestPayload);
+    store.append(1, make_payload(1).data());
+    store.append(2, make_payload(2).data());
+  }
+  flip_byte(path, kHeaderBytes + 8 + 3);  // payload byte of record #1
+  exec::ResultStore store(path, kTestPayload);
+  EXPECT_EQ(store.dropped_records(), 1u);
+  EXPECT_EQ(store.entries(), 1u);
+  std::uint8_t out[kTestPayload];
+  EXPECT_FALSE(store.lookup(1, out));  // recompute, don't trust
+  ASSERT_TRUE(store.lookup(2, out));
+  EXPECT_EQ(std::vector<std::uint8_t>(out, out + kTestPayload),
+            make_payload(2));
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, ConcurrentAppendFromEightThreads) {
+  const std::string path = temp_store_path("concurrent");
+  std::remove(path.c_str());
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kPerThread = 64;
+  {
+    exec::ResultStore store(path, kTestPayload);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&store, t] {
+        for (unsigned i = 0; i < kPerThread; ++i) {
+          const std::uint64_t digest = t * kPerThread + i;
+          const auto payload =
+              make_payload(static_cast<std::uint8_t>(digest & 0xff));
+          store.append(digest, payload.data());
+          // Contended digest: every thread races to write it; first wins.
+          store.append(1ull << 60, payload.data());
+          std::uint8_t out[kTestPayload];
+          EXPECT_TRUE(store.lookup(digest, out));
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    EXPECT_EQ(store.entries(), kThreads * kPerThread + 1);
+  }
+  // Every record survives the reopen intact.
+  exec::ResultStore store(path, kTestPayload);
+  EXPECT_EQ(store.entries(), kThreads * kPerThread + 1);
+  EXPECT_EQ(store.dropped_records(), 0u);
+  EXPECT_EQ(store.truncated_bytes(), 0u);
+  std::uint8_t out[kTestPayload];
+  for (std::uint64_t d = 0; d < kThreads * kPerThread; ++d) {
+    ASSERT_TRUE(store.lookup(d, out));
+    EXPECT_EQ(out[0], static_cast<std::uint8_t>(d & 0xff));
+  }
+  std::remove(path.c_str());
+}
+
+// ---- Digest and engine-level behavior --------------------------------
+
+TEST(SimulationDigest, StableAndSensitiveToEveryInput) {
+  const cpu::SystemConfig cfg =
+      experiments::make_config(cpu::Dl1Organization::kNvmVwb);
+  const workloads::CodegenOptions none = workloads::CodegenOptions::none();
+  const std::uint64_t d = experiments::simulation_digest("gemm", none, cfg);
+  EXPECT_EQ(d, experiments::simulation_digest("gemm", none, cfg));
+  EXPECT_NE(d, experiments::simulation_digest("atax", none, cfg));
+  EXPECT_NE(d, experiments::simulation_digest(
+                   "gemm", workloads::CodegenOptions::all(), cfg));
+  cpu::SystemConfig edited = cfg;
+  edited.vwb_total_kbit *= 2;
+  EXPECT_NE(d, experiments::simulation_digest("gemm", none, edited));
+  edited = cfg;
+  edited.clock_ghz = 1.25;
+  EXPECT_NE(d, experiments::simulation_digest("gemm", none, edited));
+  edited = cfg;
+  edited.stt.write_latency_ns *= 2.0;
+  EXPECT_NE(d, experiments::simulation_digest("gemm", none, edited));
+}
+
+/// RAII: installs a fresh store for one test and restores the previous
+/// process-wide registration (and pool defaults) on exit.
+class ScopedStore {
+ public:
+  explicit ScopedStore(const std::string& path)
+      : path_(path), store_(path, sim::kRunStatsBytes) {
+    exec::set_result_store(&store_);
+  }
+  ~ScopedStore() { exec::set_result_store(nullptr); }
+  exec::ResultStore& get() { return store_; }
+
+ private:
+  std::string path_;
+  exec::ResultStore store_;
+};
+
+std::vector<experiments::SuiteJob> small_grid() {
+  const workloads::CodegenOptions none = workloads::CodegenOptions::none();
+  std::vector<experiments::SuiteJob> jobs;
+  jobs.push_back(
+      {experiments::make_config(cpu::Dl1Organization::kSramBaseline), none});
+  jobs.push_back(
+      {experiments::make_config(cpu::Dl1Organization::kNvmDropIn), none});
+  jobs.push_back({experiments::make_config(cpu::Dl1Organization::kNvmVwb),
+                  workloads::CodegenOptions::all()});
+  return jobs;
+}
+
+std::string grid_fingerprint(
+    const std::vector<std::vector<sim::RunStats>>& grid) {
+  std::string out;
+  for (const auto& row : grid) {
+    for (const sim::RunStats& s : row) out += sim::to_json(s) + "\n";
+  }
+  return out;
+}
+
+TEST(IncrementalGrid, WarmRerunIsByteIdenticalAtAnyPoolWidth) {
+  const auto kernels = experiments::select_kernels({"atax", "mvt"});
+  const auto jobs = small_grid();
+  const std::size_t n_points = jobs.size() * kernels.size();
+
+  // Reference: no store at all.
+  exec::set_result_store(nullptr);
+  experiments::TraceCache ref_cache;
+  const std::string reference =
+      grid_fingerprint(experiments::run_grid(ref_cache, kernels, jobs));
+
+  for (const unsigned width : {1u, 8u}) {
+    const std::string path = temp_store_path("warmgrid");
+    std::remove(path.c_str());
+    exec::set_default_jobs(width);
+
+    auto& telemetry = exec::Telemetry::instance();
+    std::string cold;
+    {
+      ScopedStore store(path);
+      const exec::TelemetrySnapshot before = telemetry.snapshot();
+      experiments::TraceCache cache;
+      cold = grid_fingerprint(experiments::run_grid(cache, kernels, jobs));
+      const exec::TelemetrySnapshot delta = telemetry.snapshot() - before;
+      EXPECT_EQ(delta.memo_hits, 0u);
+      EXPECT_EQ(delta.memo_misses, n_points);
+    }
+    // Fresh store object + fresh trace cache: the warm pass must be served
+    // entirely from disk and generate no traces.
+    {
+      ScopedStore store(path);
+      const exec::TelemetrySnapshot before = telemetry.snapshot();
+      experiments::TraceCache cache;
+      const std::string warm =
+          grid_fingerprint(experiments::run_grid(cache, kernels, jobs));
+      const exec::TelemetrySnapshot delta = telemetry.snapshot() - before;
+      EXPECT_EQ(delta.memo_hits, n_points);
+      EXPECT_EQ(delta.memo_misses, 0u);
+      EXPECT_EQ(delta.traces_generated, 0u);
+      EXPECT_EQ(delta.simulations, 0u);
+      EXPECT_EQ(warm, cold) << "warm grid diverged at --jobs=" << width;
+      EXPECT_EQ(cache.entries(), 0u);
+    }
+    EXPECT_EQ(cold, reference) << "store changed results at --jobs=" << width;
+    std::remove(path.c_str());
+  }
+  exec::set_default_jobs(0);
+}
+
+TEST(IncrementalGrid, BatchedPathHitsStoreAndStaysIdentical) {
+  const auto kernels = experiments::select_kernels({"atax"});
+  const auto jobs = small_grid();
+  const std::size_t n_points = jobs.size() * kernels.size();
+  const std::string path = temp_store_path("batchgrid");
+  std::remove(path.c_str());
+
+  exec::set_result_store(nullptr);
+  experiments::TraceCache ref_cache;
+  const std::string reference =
+      grid_fingerprint(experiments::run_grid(ref_cache, kernels, jobs));
+
+  exec::set_default_batch(4);
+  auto& telemetry = exec::Telemetry::instance();
+  std::string cold;
+  {
+    ScopedStore store(path);
+    experiments::TraceCache cache;
+    cold = grid_fingerprint(experiments::run_grid(cache, kernels, jobs));
+    EXPECT_EQ(store.get().entries(), n_points);
+  }
+  {
+    ScopedStore store(path);
+    const exec::TelemetrySnapshot before = telemetry.snapshot();
+    experiments::TraceCache cache;
+    const std::string warm =
+        grid_fingerprint(experiments::run_grid(cache, kernels, jobs));
+    const exec::TelemetrySnapshot delta = telemetry.snapshot() - before;
+    EXPECT_EQ(delta.memo_hits, n_points);
+    EXPECT_EQ(warm, cold);
+  }
+  exec::set_default_batch(1);
+  EXPECT_EQ(cold, reference);
+  std::remove(path.c_str());
+}
+
+// The incremental-recomputation acceptance case: edit ONE grid parameter
+// and re-run — only that job's points (one per kernel) may simulate; every
+// other point must be a store hit.
+TEST(IncrementalGrid, SingleParameterEditRecomputesOnlyDirtyPoints) {
+  const auto kernels = experiments::select_kernels({"atax", "mvt"});
+  std::vector<experiments::SuiteJob> jobs = small_grid();
+  const std::size_t n_points = jobs.size() * kernels.size();
+  const std::string path = temp_store_path("dirty");
+  std::remove(path.c_str());
+
+  auto& telemetry = exec::Telemetry::instance();
+  ScopedStore store(path);
+  {
+    experiments::TraceCache cache;
+    experiments::run_grid(cache, kernels, jobs);
+  }
+
+  jobs[1].config.vwb_total_kbit *= 2;  // the one-parameter campaign edit
+  const exec::TelemetrySnapshot before = telemetry.snapshot();
+  experiments::TraceCache cache;
+  experiments::run_grid(cache, kernels, jobs);
+  const exec::TelemetrySnapshot delta = telemetry.snapshot() - before;
+  EXPECT_EQ(delta.memo_misses, kernels.size());  // jobs[1] x every kernel
+  EXPECT_EQ(delta.memo_hits, n_points - kernels.size());
+
+  // The dirty points were appended: an immediate re-run is all hits.
+  const exec::TelemetrySnapshot before2 = telemetry.snapshot();
+  experiments::TraceCache cache2;
+  experiments::run_grid(cache2, kernels, jobs);
+  const exec::TelemetrySnapshot delta2 = telemetry.snapshot() - before2;
+  EXPECT_EQ(delta2.memo_hits, n_points);
+  EXPECT_EQ(delta2.memo_misses, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(IncrementalGrid, RunKernelProbesAndFillsStore) {
+  const auto kernels = experiments::select_kernels({"atax"});
+  const cpu::SystemConfig cfg =
+      experiments::make_config(cpu::Dl1Organization::kNvmVwb);
+  const workloads::CodegenOptions opts = workloads::CodegenOptions::none();
+  const std::string path = temp_store_path("runkernel");
+  std::remove(path.c_str());
+
+  exec::set_result_store(nullptr);
+  experiments::TraceCache ref_cache;
+  const sim::RunStats reference =
+      experiments::run_kernel(ref_cache, kernels[0], cfg, opts);
+
+  ScopedStore store(path);
+  experiments::TraceCache cache;
+  const sim::RunStats cold =
+      experiments::run_kernel(cache, kernels[0], cfg, opts);
+  EXPECT_EQ(store.get().entries(), 1u);
+  auto& telemetry = exec::Telemetry::instance();
+  const exec::TelemetrySnapshot before = telemetry.snapshot();
+  const sim::RunStats warm =
+      experiments::run_kernel(cache, kernels[0], cfg, opts);
+  const exec::TelemetrySnapshot delta = telemetry.snapshot() - before;
+  EXPECT_EQ(delta.memo_hits, 1u);
+  EXPECT_EQ(delta.simulations, 0u);
+  EXPECT_EQ(sim::to_json(warm), sim::to_json(cold));
+  EXPECT_EQ(sim::to_json(cold), sim::to_json(reference));
+  std::remove(path.c_str());
+}
+
+// RunStats must survive the store's binary encoding exactly — every counter
+// is a u64, so decode(encode(x)) == x bit for bit.
+TEST(RunStatsCodec, ExactRoundTrip) {
+  sim::RunStats s;
+  s.core.instructions = 0xffffffffffffffffULL;
+  s.core.total_cycles = 12345678901234ULL;
+  s.core.structural_stall_cycles = 17;
+  s.mem.loads = 1;
+  s.mem.bank_conflict_cycles = 0x8000000000000000ULL;
+  std::uint8_t buf[sim::kRunStatsBytes];
+  sim::encode_run_stats(s, buf);
+  const sim::RunStats back = sim::decode_run_stats(buf);
+  EXPECT_EQ(back.core.instructions, s.core.instructions);
+  EXPECT_EQ(back.core.total_cycles, s.core.total_cycles);
+  EXPECT_EQ(back.core.structural_stall_cycles,
+            s.core.structural_stall_cycles);
+  EXPECT_EQ(back.mem.loads, s.mem.loads);
+  EXPECT_EQ(back.mem.bank_conflict_cycles, s.mem.bank_conflict_cycles);
+  EXPECT_EQ(sim::to_json(back), sim::to_json(s));
+}
+
+}  // namespace
+}  // namespace sttsim

@@ -5,6 +5,7 @@
 
 #include "sttsim/util/bits.hpp"
 #include "sttsim/util/check.hpp"
+#include "sttsim/util/hash.hpp"
 #include "sttsim/util/rng.hpp"
 #include "sttsim/util/text.hpp"
 
@@ -168,6 +169,45 @@ TEST(Text, Pad) {
   EXPECT_EQ(pad_left("ab", 4), "  ab");
   EXPECT_EQ(pad_right("abcd", 2), "abcd");
   EXPECT_EQ(pad_left("abcd", 2), "abcd");
+}
+
+// The hasher keys the persistent result store, so its digests must never
+// drift: these values are pinned against an independent FNV-1a reference
+// implementation. A change here invalidates every store on disk and MUST be
+// accompanied by a util::kHashVersion bump.
+TEST(Hash, PinnedReferenceDigests) {
+  EXPECT_EQ(util::Hash64().digest(), 0xcbf29ce484222325ULL);  // FNV offset basis
+  EXPECT_EQ(util::hash_bytes("abc", 3), 0xe71fa2190541574bULL);
+  EXPECT_EQ(util::Hash64().u64(0).digest(), 0xa8c7f832281a39c5ULL);
+  EXPECT_EQ(util::Hash64().u64(2015).digest(), 0x94d32904a80fc8f3ULL);
+  EXPECT_EQ(util::Hash64().u8(7).u32(9).digest(), 0x5e7fb2a4b5214b3fULL);
+  EXPECT_EQ(util::Hash64().f64(3.37).digest(), 0x6622dddd22185309ULL);
+  EXPECT_EQ(util::Hash64().str("gemm").digest(), 0x0b3e53798a19c49fULL);
+  EXPECT_EQ(util::Hash64().str("gemm").u8(1).u64(0x1234).f64(1.0).digest(),
+            0xf87c599059176315ULL);
+  EXPECT_EQ(util::kHashVersion, 1u);
+}
+
+// Multi-byte fields hash as little-endian byte sequences: feeding the bytes
+// one by one through the raw byte interface must give the same digest on
+// every platform.
+TEST(Hash, ExplicitLittleEndianEncoding) {
+  const std::uint64_t v = 0x0102030405060708ULL;
+  const std::uint8_t le[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+  EXPECT_EQ(util::Hash64().u64(v).digest(), util::Hash64().bytes(le, 8).digest());
+  const std::uint32_t w = 0x0a0b0c0dU;
+  const std::uint8_t le32[4] = {0x0d, 0x0c, 0x0b, 0x0a};
+  EXPECT_EQ(util::Hash64().u32(w).digest(), util::Hash64().bytes(le32, 4).digest());
+}
+
+// str() is length-prefixed so adjacent strings cannot alias ("ab","c" vs
+// "a","bc"); bool maps to one byte.
+TEST(Hash, FieldFraming) {
+  EXPECT_NE(util::Hash64().str("ab").str("c").digest(),
+            util::Hash64().str("a").str("bc").digest());
+  EXPECT_EQ(util::Hash64().boolean(true).digest(), util::Hash64().u8(1).digest());
+  EXPECT_EQ(util::Hash64().boolean(false).digest(), util::Hash64().u8(0).digest());
+  EXPECT_NE(util::Hash64().u32(5).digest(), util::Hash64().u64(5).digest());
 }
 
 }  // namespace

@@ -10,19 +10,22 @@
 //   * aggregate fast-path replay           (replay.fast_agg_ops_per_sec)
 //   * per-organization batched replay      (batch.organizations[].batch_ops_per_sec)
 //   * aggregate batched replay             (batch.batch_agg_ops_per_sec)
+//   * result-store warm-replay speedups    (store.runs[].warm_speedup, one
+//     metric per pool width: store:warm_speedup@jN)
 //
 // Every comparison prints its delta — within tolerance or not — plus one
-// summary line per section (figure / replay / batch), so a run's drift is
-// visible before it crosses the regression threshold.
+// summary line per section (figure / replay / batch / store), so a run's
+// drift is visible before it crosses the regression threshold.
 //
 // Exit codes: 0 all good, 1 regression(s), 2 usage / unreadable current
 // file / no common metrics, 3 baseline file missing (distinct so callers —
 // the perf ctest — can tell "no baseline yet" from a real failure).
 //
 // Only metrics present in BOTH files are compared (a --quick baseline still
-// guards the figures it contains). The parser is deliberately minimal — it
-// understands exactly the flat key layout perf_smoke emits, keeping the tool
-// dependency-free.
+// guards the figures it contains, and a baseline that predates the store
+// section simply contributes no store metrics). The parser is deliberately
+// minimal — it understands exactly the flat key layout perf_smoke emits,
+// keeping the tool dependency-free.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -131,6 +134,26 @@ std::vector<Metric> extract(const std::string& text) {
   if (batch != std::string::npos) {
     const double agg = number_after(text, "batch_agg_ops_per_sec", batch);
     if (agg >= 0.0) out.push_back(Metric{"batch:aggregate", agg});
+  }
+  // Result-store warm-replay speedups, one per pool width. A speedup is a
+  // ratio, not ops/s, but regresses the same way: smaller = slower warm
+  // path. Bounded by the trailing "total" section.
+  const std::size_t store = text.find("\"store\"");
+  const std::size_t total = text.find("\"total\"");
+  pos = store;
+  while (pos != std::string::npos) {
+    const std::size_t entry = text.find("{\"jobs\": ", pos + 1);
+    if (entry == std::string::npos ||
+        (total != std::string::npos && entry >= total)) {
+      break;
+    }
+    const double j = number_after(text, "jobs", entry, total);
+    const double v = number_after(text, "warm_speedup", entry, total);
+    if (j >= 0.0 && v >= 0.0) {
+      out.push_back(Metric{
+          "store:warm_speedup@j" + std::to_string(static_cast<int>(j)), v});
+    }
+    pos = entry;
   }
   return out;
 }

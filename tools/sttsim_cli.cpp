@@ -17,10 +17,14 @@
 // count per pass.
 //
 // Options: --vwb-kbit=N --vwb-lines=N --banks=N --clock-ghz=F --csv
+//          --store=PATH (persistent result store: repeated identical runs
+//          read back their stats instead of re-simulating; --no-store
+//          ignores the STTSIM_RESULT_STORE environment default)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -29,7 +33,10 @@
 #include "sttsim/cpu/system.hpp"
 #include "sttsim/cpu/trace_io.hpp"
 #include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/exec/result_store.hpp"
+#include "sttsim/exec/telemetry.hpp"
 #include "sttsim/experiments/harness.hpp"
+#include "sttsim/sim/stats.hpp"
 #include "sttsim/util/check.hpp"
 #include "sttsim/util/text.hpp"
 #include "sttsim/workloads/suite.hpp"
@@ -52,6 +59,7 @@ struct CliOptions {
   bool baseline_penalty = false;  ///< also run the SRAM baseline and report %
   bool check_oracle = false;  ///< run the differential oracle instead of
                               ///< just simulating; nonzero exit on divergence
+  std::string store;          ///< result-store path; "" = disabled
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -64,7 +72,7 @@ struct CliOptions {
       "          [--banks=N] [--clock-ghz=F] [--trace-out=FILE]\n"
       "          [--baseline-penalty] [--check-oracle] [--jobs=N] "
       "[--batch=K]\n"
-      "          [--csv|--json]\n"
+      "          [--store=PATH] [--no-store] [--csv|--json]\n"
       "(a comma-separated --org list runs all of them in one batched\n"
       " replay pass per organization class and reports them side by side)\n",
       argv0);
@@ -129,6 +137,7 @@ workloads::CodegenOptions parse_codegen(const std::string& list) {
 
 CliOptions parse_args(int argc, char** argv) {
   CliOptions o;
+  bool no_store = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string val;
@@ -174,10 +183,21 @@ CliOptions parse_args(int argc, char** argv) {
       exec::set_default_jobs(static_cast<unsigned>(std::stoul(val)));
     } else if (take("--batch=")) {
       exec::set_default_batch(static_cast<unsigned>(std::stoul(val)));
+    } else if (take("--store=")) {
+      o.store = val;
+    } else if (arg == "--no-store") {
+      no_store = true;
     } else {
       usage(argv[0]);
     }
   }
+  if (o.store.empty() && !no_store) {
+    if (const char* env = std::getenv("STTSIM_RESULT_STORE");
+        env != nullptr && *env != '\0') {
+      o.store = env;
+    }
+  }
+  if (no_store) o.store.clear();
   return o;
 }
 
@@ -201,6 +221,12 @@ void print_stats(const sim::RunStats& s, bool csv) {
 }
 
 int run(const CliOptions& o) {
+  static std::unique_ptr<exec::ResultStore> store_holder;
+  if (!o.store.empty()) {
+    store_holder =
+        std::make_unique<exec::ResultStore>(o.store, sim::kRunStatsBytes);
+    exec::set_result_store(store_holder.get());
+  }
   if (o.list) {
     for (const auto& k : workloads::polybench_suite()) {
       std::printf("%-16s %s\n", k.name.c_str(), k.description.c_str());
@@ -301,6 +327,35 @@ int run(const CliOptions& o) {
   const bool with_baseline = o.baseline_penalty && !o.json &&
                              org != cpu::Dl1Organization::kSramBaseline;
 
+  // One simulation with result-store memoization: a named kernel is keyed
+  // by (name x codegen x config), an external trace by its content digest.
+  const auto simulate = [&](const cpu::SystemConfig& c) -> sim::RunStats {
+    cpu::SystemConfig validated = c;
+    validated.validate();
+    exec::ResultStore* store = exec::result_store();
+    std::uint64_t digest = 0;
+    if (store != nullptr) {
+      digest = o.kernel.empty()
+                   ? experiments::simulation_digest(trace, validated)
+                   : experiments::simulation_digest(o.kernel, o.codegen,
+                                                    validated);
+      std::uint8_t payload[sim::kRunStatsBytes];
+      if (store->lookup(digest, payload)) {
+        exec::Telemetry::instance().count_memo_hit();
+        return sim::decode_run_stats(payload);
+      }
+      exec::Telemetry::instance().count_memo_miss();
+    }
+    cpu::System system(validated, cpu::System::kPrevalidated);
+    const sim::RunStats stats = system.run(trace);
+    if (store != nullptr) {
+      std::uint8_t payload[sim::kRunStatsBytes];
+      sim::encode_run_stats(stats, payload);
+      store->append(digest, payload);
+    }
+    return stats;
+  };
+
   // With --baseline-penalty the variant and the SRAM reference run as two
   // jobs on the experiment engine's pool (a no-op at --jobs=1).
   cpu::SystemConfig base_cfg = o.system;
@@ -308,13 +363,9 @@ int run(const CliOptions& o) {
   exec::ParallelExecutor pool;
   std::future<sim::RunStats> baseline_run;
   if (with_baseline) {
-    baseline_run = pool.submit([&] {
-      cpu::System baseline(base_cfg);
-      return baseline.run(trace);
-    });
+    baseline_run = pool.submit([&] { return simulate(base_cfg); });
   }
-  cpu::System system(cfg);
-  const sim::RunStats stats = system.run(trace);
+  const sim::RunStats stats = simulate(cfg);
   if (o.json) {
     std::printf("%s\n", sim::to_json(stats).c_str());
     return 0;
