@@ -39,6 +39,10 @@ constexpr StatField kMemStatFields[] = {
     {"l2_array_reads", &sim::MemStats::l2_array_reads},
     {"l2_array_writes", &sim::MemStats::l2_array_writes},
     {"bank_conflict_cycles", &sim::MemStats::bank_conflict_cycles},
+    {"ecc_corrections", &sim::MemStats::ecc_corrections},
+    {"ecc_refills", &sim::MemStats::ecc_refills},
+    // The wear counters (l1_frame_writes_*) are deliberately absent: they
+    // are end-of-run array snapshots, not part of the per-op contract.
 };
 
 const char* kind_name(cpu::OpKind kind) {
@@ -330,12 +334,26 @@ std::string write_reproducer(const std::string& dir, const std::string& tag,
       << "organization: " << cpu::to_string(config.organization) << "\n"
       << "vwb_total_kbit: " << config.vwb_total_kbit << "\n"
       << "nvm_banks: " << config.nvm_banks << "\n"
-      << "mshr_entries: " << config.mshr_entries << "\n"
-      << "trace_ops: " << result.trace.size() << "\n"
+      << "mshr_entries: " << config.mshr_entries << "\n";
+  if (config.faults_active()) {
+    txt << "faults: seed=" << config.faults.seed
+        << " ppm=" << config.faults.fail_ppm
+        << " double_pct=" << config.faults.double_fault_pct << "\n"
+        << "ecc: correction_cycles=" << config.ecc.correction_cycles
+        << " refill_cycles=" << config.ecc.refill_cycles << "\n";
+  }
+  txt << "trace_ops: " << result.trace.size() << "\n"
       << "minimizer_probes: " << result.probes << "\n"
       << "divergence: " << result.divergence.detail << "\n"
       << "replay: sttsim_cli --check-oracle --trace-in=" << tag << ".trace"
-      << " --org=" << cpu::to_string(config.organization) << "\n";
+      << " --org=" << cpu::to_string(config.organization);
+  if (config.faults_active()) {
+    txt << " --faults=" << config.faults.seed << ":" << config.faults.fail_ppm
+        << ":" << config.faults.double_fault_pct
+        << " --ecc=" << config.ecc.correction_cycles << ":"
+        << config.ecc.refill_cycles;
+  }
+  txt << "\n";
   return trace_path;
 }
 

@@ -42,6 +42,10 @@ struct OracleFaults {
   /// Skip dropping the MSHR fill-register copy when a store bypasses it —
   /// a later promotion serves pre-store (stale) data.
   bool skip_fill_register_invalidate_on_store = false;
+  /// Count ECC single-bit corrections but omit their latency from the
+  /// predicted load completion — the broken-ECC scenario the reliability
+  /// campaign must catch as a pure timing divergence.
+  bool skip_ecc_correction_latency = false;
 };
 
 /// One data-content shadow violation: a load observed a byte that differs

@@ -1095,10 +1095,72 @@ class NarrowOracle final : public OracleBase {
   ByteMap front_bytes_;
 };
 
+// ECC / retention-fault decorator. Mirrors reliability::FaultyDl1System:
+// an independently instantiated FaultInjector driven by the same
+// (addr, size, cycle) sequence reproduces the production fault schedule
+// exactly, so the oracle predicts ECC-corrected completion cycles and the
+// ecc_corrections / ecc_refills counters without sharing any state with
+// the simulator. The skip_ecc_correction_latency oracle fault counts
+// corrections but omits their latency — a pure "cycle" divergence.
+class FaultedOracle final : public ReferenceDl1 {
+ public:
+  FaultedOracle(std::unique_ptr<ReferenceDl1> inner,
+                const reliability::FaultConfig& fault_config,
+                const reliability::EccConfig& ecc, std::uint64_t line_bytes,
+                const OracleFaults& faults)
+      : inner_(std::move(inner)),
+        injector_(fault_config, ecc, line_bytes),
+        skip_correction_latency_(faults.skip_ecc_correction_latency) {}
+
+  sim::Cycle load(Addr addr, unsigned size, sim::Cycle now) override {
+    sim::Cycle done = inner_->load(addr, size, now);
+    const reliability::FaultInjector::LoadPenalty penalty =
+        injector_.on_load(addr, size, now);
+    done += penalty.refill_cycles;
+    if (!skip_correction_latency_) done += penalty.correction_cycles;
+    sync();
+    return done;
+  }
+
+  sim::Cycle store(Addr addr, unsigned size, std::uint64_t value,
+                   sim::Cycle now) override {
+    const sim::Cycle done = inner_->store(addr, size, value, now);
+    injector_.on_store(addr, size, now);
+    sync();
+    return done;
+  }
+
+  void prefetch(Addr addr, sim::Cycle now) override {
+    inner_->prefetch(addr, now);
+    sync();
+  }
+
+ private:
+  void sync() {
+    stats_ = inner_->stats();
+    stats_.ecc_corrections = injector_.corrections();
+    stats_.ecc_refills = injector_.refills();
+    shadow_violations_ = inner_->shadow_violations();
+  }
+
+  std::unique_ptr<ReferenceDl1> inner_;
+  reliability::FaultInjector injector_;
+  bool skip_correction_latency_;
+};
+
 }  // namespace
 
 std::unique_ptr<ReferenceDl1> make_reference_dl1(
     const cpu::SystemConfig& config, const OracleFaults& faults) {
+  if (config.faults_active()) {
+    config.faults.validate();
+    config.ecc.validate();
+    cpu::SystemConfig clean = config;
+    clean.faults.enabled = false;
+    return std::make_unique<FaultedOracle>(
+        make_reference_dl1(clean, faults), config.faults, config.ecc,
+        config.dl1_config().geometry.line_bytes, faults);
+  }
   config.validate();
   const core::Dl1Config dl1 = config.dl1_config();
   switch (config.organization) {

@@ -80,4 +80,14 @@ class Dl1System {
   sim::MemStats stats_;
 };
 
+/// Stamps the end-of-run wear snapshot (reliability counters) onto a
+/// MemStats copy about to be returned as part of RunStats. Called by every
+/// run loop when it assembles its result — wear is a property of the array,
+/// not of the per-access counter stream, so it is sampled once at the end
+/// rather than maintained per op (the hot loops stay untouched).
+inline void finalize_wear(sim::MemStats& m, const mem::SetAssocCache& array) {
+  m.l1_frame_writes_max = array.max_frame_writes();
+  m.l1_frame_writes_total = array.total_writes();
+}
+
 }  // namespace sttsim::core

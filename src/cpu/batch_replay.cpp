@@ -1,6 +1,7 @@
 #include "sttsim/cpu/batch_replay.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "sttsim/cpu/system.hpp"
 
@@ -9,17 +10,21 @@ namespace sttsim::cpu {
 std::vector<std::vector<std::size_t>> partition_batches(
     const std::vector<SystemConfig>& configs, unsigned width) {
   width = std::clamp(width, 1u, kMaxBatchLanes);
-  // Three concrete classes (see System::build); bucket preserving input
-  // order, then chunk. Buckets are flushed in class order of first
-  // appearance so the partition is deterministic for a given input.
-  std::vector<Dl1ConcreteClass> seen;
+  // Three concrete classes (see System::build), doubled by whether fault
+  // injection is active (faulted lanes run the decorator's virtual loop —
+  // a different batch_run_ pointer, so they may not share a batch with
+  // clean lanes of the same class); bucket preserving input order, then
+  // chunk. Buckets are flushed in key order of first appearance so the
+  // partition is deterministic for a given input.
+  using Key = std::pair<Dl1ConcreteClass, bool>;
+  std::vector<Key> seen;
   std::vector<std::vector<std::size_t>> by_class;
   for (std::size_t i = 0; i < configs.size(); ++i) {
-    const Dl1ConcreteClass cls = concrete_class(configs[i]);
+    const Key key{concrete_class(configs[i]), configs[i].faults_active()};
     std::size_t b = 0;
-    while (b < seen.size() && seen[b] != cls) ++b;
+    while (b < seen.size() && seen[b] != key) ++b;
     if (b == seen.size()) {
-      seen.push_back(cls);
+      seen.push_back(key);
       by_class.emplace_back();
     }
     by_class[b].push_back(i);

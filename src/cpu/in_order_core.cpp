@@ -61,6 +61,7 @@ sim::RunStats run_loop(const Trace& trace, core::Dl1System& dl1,
   sim::RunStats out;
   out.core = core;
   out.mem = dl1.stats();
+  ::sttsim::core::finalize_wear(out.mem, dl1.array());
   return out;
 }
 

@@ -172,6 +172,7 @@ std::vector<sim::RunStats> replay_batch_fixed(Source src,
     out[i].core.write_stall_cycles = write_stall[i];
     out[i].core.total_cycles = now[i];
     out[i].mem = ls[i]->stats();
+    ::sttsim::core::finalize_wear(out[i].mem, ls[i]->array());
   }
   return out;
 }
@@ -213,6 +214,7 @@ struct BatchState {
       core[i].total_cycles = now[i];
       out[i].core = core[i];
       out[i].mem = lanes[i]->stats();
+      ::sttsim::core::finalize_wear(out[i].mem, lanes[i]->array());
     }
     return out;
   }

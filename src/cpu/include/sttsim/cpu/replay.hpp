@@ -19,6 +19,7 @@
 //  * there is no observer hook (use InOrderCore::run_observed to watch a run).
 #pragma once
 
+#include "sttsim/core/dl1_system.hpp"
 #include "sttsim/cpu/decoded_trace.hpp"
 #include "sttsim/sim/stats.hpp"
 
@@ -96,6 +97,7 @@ sim::RunStats replay_decoded(const DecodedTrace& trace, Dl1& dl1) {
   sim::RunStats out;
   out.core = core;
   out.mem = dl1.stats();
+  ::sttsim::core::finalize_wear(out.mem, dl1.array());
   return out;
 }
 

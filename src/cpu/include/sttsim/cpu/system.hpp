@@ -15,6 +15,7 @@
 #include "sttsim/cpu/in_order_core.hpp"
 #include "sttsim/cpu/trace.hpp"
 #include "sttsim/mem/l2_system.hpp"
+#include "sttsim/reliability/fault.hpp"
 #include "sttsim/tech/technology.hpp"
 
 namespace sttsim::cpu {
@@ -68,6 +69,20 @@ struct SystemConfig {
   tech::TechnologyParams sram = tech::sram_l1d_64kb();
   tech::TechnologyParams stt = tech::stt_mram_l1d_64kb();
   mem::L2Config l2;
+
+  /// Retention-fault injection + ECC read path (src/reliability). Applies
+  /// to the NVM organizations only: the SRAM baseline has no retention
+  /// faults, so `faults.enabled` is ignored there (see faults_active()).
+  reliability::FaultConfig faults;
+  reliability::EccConfig ecc;
+
+  /// Whether this configuration actually injects faults: enabled AND an
+  /// STT-MRAM data array. Every layer keys off this — build() wraps the
+  /// DL1, the oracle wraps its reference, simulation_digest folds the
+  /// fault/ECC parameters, and the batch partitioner segregates lanes.
+  bool faults_active() const {
+    return faults.enabled && organization != Dl1Organization::kSramBaseline;
+  }
 
   /// The DL1 technology this organization uses.
   const tech::TechnologyParams& dl1_tech() const;

@@ -36,6 +36,85 @@ std::vector<sim::RunStats> batch_run_impl(
   return replay_batch(trace, lanes);
 }
 
+// Fault-injecting configurations replay through the virtual interface: the
+// FaultyDl1System decorator is organization-agnostic, and the virtual loop
+// is InOrderCore::run's exact semantics (always the full load/store entry
+// — test_fastpath holds that equal to the specialized loop). Fault
+// campaigns trade the devirtualized hot path for the ECC read path; the
+// fault-free grid keeps its specialized loops untouched.
+sim::RunStats faulted_fast_run(const DecodedTrace& trace,
+                               core::Dl1System& dl1) {
+  sim::CoreStats core;
+  sim::Cycle now = 0;
+  for (const DecodedOp& op : trace.ops) {
+    switch (op.kind) {
+      case OpKind::kExec: {
+        now += op.count;
+        core.instructions += op.count;
+        core.exec_cycles += op.count;
+        break;
+      }
+      case OpKind::kLoad: {
+        core.instructions += 1;
+        core.mem_instructions += 1;
+        const sim::Cycle issue_done = now + 1;
+        const sim::Cycle data = dl1.load(op.addr, op.size, now);
+        const sim::Cycle done = std::max(issue_done, data);
+        core.read_stall_cycles += done - issue_done;
+        core.exec_cycles += 1;
+        now = done;
+        break;
+      }
+      case OpKind::kStore: {
+        core.instructions += 1;
+        core.mem_instructions += 1;
+        const sim::Cycle issue_done = now + 1;
+        const sim::Cycle accepted = dl1.store(op.addr, op.size, now);
+        const sim::Cycle done = std::max(issue_done, accepted);
+        core.write_stall_cycles += done - issue_done;
+        core.exec_cycles += 1;
+        now = done;
+        break;
+      }
+      case OpKind::kPrefetch: {
+        core.instructions += 1;
+        dl1.prefetch(op.addr, now);
+        core.exec_cycles += 1;
+        now += 1;
+        break;
+      }
+    }
+  }
+  core.total_cycles = now;
+  sim::RunStats out;
+  out.core = core;
+  out.mem = dl1.stats();
+  ::sttsim::core::finalize_wear(out.mem, dl1.array());
+  return out;
+}
+
+// Batched faulted lanes replay independently (per-lane injector state makes
+// op-major interleaving pointless); results are bit-identical to solo runs
+// by construction — it is the same loop.
+template <class TraceT>
+std::vector<sim::RunStats> faulted_batch_run(
+    const TraceT& trace, const std::vector<core::Dl1System*>& dl1s) {
+  const DecodedTrace* decoded = nullptr;
+  DecodedTrace storage;
+  if constexpr (std::is_same_v<TraceT, DecodedTrace>) {
+    decoded = &trace;
+  } else {
+    storage = decompress(trace);
+    decoded = &storage;
+  }
+  std::vector<sim::RunStats> out;
+  out.reserve(dl1s.size());
+  for (core::Dl1System* d : dl1s) {
+    out.push_back(faulted_fast_run(*decoded, *d));
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* to_string(Dl1Organization org) {
@@ -123,6 +202,10 @@ void SystemConfig::validate() const {
   sram.validate();
   stt.validate();
   l2.validate();
+  if (faults.enabled) {
+    faults.validate();
+    ecc.validate();
+  }
   dl1_config().validate();
   if (organization == Dl1Organization::kNvmVwb) {
     core::VwbDl1Config v;
@@ -207,6 +290,18 @@ void System::build() {
       select.operator()<alt::NarrowFrontDl1System>();
       break;
     }
+  }
+  if (cfg_.faults_active()) {
+    // Decorate the organization with the ECC read path and swap in the
+    // virtual-dispatch loops (the specialized loops assume the concrete
+    // class). cfg_.faults_active() is the single switch every layer keys
+    // off, so a faulted lane can never share a batch with a clean one:
+    // their batch_run_ pointers differ.
+    dl1_ = std::make_unique<reliability::FaultyDl1System>(
+        std::move(dl1_), cfg_.faults, cfg_.ecc, dl1.geometry.line_bytes);
+    fast_run_ = &faulted_fast_run;
+    batch_run_ = &faulted_batch_run<DecodedTrace>;
+    batch_run_compressed_ = &faulted_batch_run<CompressedTrace>;
   }
   STTSIM_CHECK(fast_run_ != nullptr);
 }

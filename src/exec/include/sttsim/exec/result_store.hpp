@@ -40,7 +40,7 @@ class ResultStore {
   /// Bumped whenever the record layout OR the meaning of stored payloads
   /// changes (e.g. RunStats gains a counter). Mixed into every simulation
   /// digest as well, so schema changes invalidate keys and files alike.
-  static constexpr std::uint32_t kSchemaVersion = 1;
+  static constexpr std::uint32_t kSchemaVersion = 2;
 
   /// Opens (creating or loading) the store at `path`. `payload_bytes` is
   /// the fixed record payload size; a file recorded with a different size

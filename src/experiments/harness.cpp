@@ -64,6 +64,22 @@ void hash_system_config(util::Hash64& h, const cpu::SystemConfig& c) {
       .u64(c.l2.hit_latency)
       .u64(c.l2.port_occupancy)
       .u64(c.l2.memory_latency);
+  // Reliability: keyed on faults_active(), not faults.enabled — enabling
+  // faults on the SRAM baseline changes nothing, so it must not dirty its
+  // points. The parameters are folded only when active, so editing (say)
+  // the fault seed recomputes exactly the fault-injecting points.
+  h.boolean(c.faults_active());
+  if (c.faults_active()) {
+    h.u64(c.faults.seed)
+        .u32(c.faults.fail_ppm)
+        .u32(c.faults.double_fault_pct)
+        .u32(c.faults.retention_window_log2)
+        .u32(c.faults.wear_sensitivity_log2)
+        .u32(c.ecc.word_bits)
+        .u32(c.ecc.check_bits)
+        .u32(c.ecc.correction_cycles)
+        .u32(c.ecc.refill_cycles);
+  }
 }
 
 /// Version preamble shared by both digest flavors: a record written under

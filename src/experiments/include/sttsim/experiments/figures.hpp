@@ -86,6 +86,21 @@ report::FigureData exploration_iso_area(const KernelFilter& kernels = {});
 /// and more cycles as the clock rises).
 report::FigureData sensitivity_clock(const KernelFilter& kernels = {});
 
+/// R1: IPC/energy vs retention-failure rate — VWB system penalty across raw
+/// retention-failure rates under SEC-DED ECC (fixed fault seed), plus the
+/// DL1 energy overhead of the worst rate.
+report::FigureData fig_reliability_retention(const KernelFilter& kernels = {});
+
+/// R2: lifetime vs organization — projected log10 years to first cell
+/// failure under the STT-MRAM endurance budget, per write-mitigation
+/// organization, from the wear counters the result store memoizes.
+report::FigureData fig_reliability_lifetime(const KernelFilter& kernels = {});
+
+/// R3: ECC overhead vs clock — runtime cost of the SEC-DED read path over
+/// the fault-free system at the same clock.
+report::FigureData fig_reliability_ecc_overhead(
+    const KernelFilter& kernels = {});
+
 /// X8: cell-generation sensitivity — the Section III bottleneck flip.
 /// The old 1T-1MTJ cell (fast read / slow write) vs the paper's
 /// perpendicular dual-MTJ cell (slow read / fast write), as drop-in and

@@ -1,0 +1,161 @@
+#include "sttsim/reliability/fault.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <utility>
+
+#include "sttsim/util/check.hpp"
+#include "sttsim/util/hash.hpp"
+
+namespace sttsim::reliability {
+
+void EccConfig::validate() const {
+  if (word_bits == 0) throw ConfigError("ECC word_bits must be positive");
+  if (check_bits == 0) throw ConfigError("ECC check_bits must be positive");
+}
+
+void FaultConfig::validate() const {
+  if (fail_ppm > 1'000'000) {
+    throw ConfigError("fault fail_ppm must be <= 1e6");
+  }
+  if (double_fault_pct > 100) {
+    throw ConfigError("fault double_fault_pct must be <= 100");
+  }
+  if (retention_window_log2 >= 32) {
+    throw ConfigError("fault retention_window_log2 must be < 32");
+  }
+  if (wear_sensitivity_log2 >= 32) {
+    throw ConfigError("fault wear_sensitivity_log2 must be < 32");
+  }
+}
+
+FaultInjector::FaultInjector(const FaultConfig& faults, const EccConfig& ecc,
+                             std::uint64_t line_bytes)
+    : faults_(faults), ecc_(ecc) {
+  if (line_bytes == 0 || !std::has_single_bit(line_bytes)) {
+    throw ConfigError("fault injector line_bytes must be a power of two");
+  }
+  line_shift_ = static_cast<unsigned>(std::countr_zero(line_bytes));
+}
+
+std::uint64_t FaultInjector::failure_epoch(std::uint64_t line,
+                                           const LineState& s) const {
+  // Wear accelerates retention loss: every 2^wear_sensitivity writes to the
+  // line doubles its raw per-window failure odds (capped at certainty).
+  std::uint64_t eff_ppm = faults_.fail_ppm;
+  if (eff_ppm == 0) return std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t boost = 1 + (s.wear >> faults_.wear_sensitivity_log2);
+  eff_ppm = boost > 1'000'000 / eff_ppm ? 1'000'000
+                                        : std::min<std::uint64_t>(
+                                              1'000'000, eff_ppm * boost);
+  // A stable uniform draw in [1, 1e6] for this (line, generation): the
+  // geometric failure schedule inverted at the draw, i.e. the first window
+  // whose cumulative odds cover it.
+  const std::uint64_t h = util::Hash64()
+                              .u64(faults_.seed)
+                              .u64(line)
+                              .u64(s.generation)
+                              .digest();
+  const std::uint64_t u = h % 1'000'000 + 1;
+  return (u + eff_ppm - 1) / eff_ppm;
+}
+
+FaultInjector::LoadPenalty FaultInjector::on_load(Addr addr, unsigned size,
+                                                  sim::Cycle now) {
+  LoadPenalty penalty;
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + (size == 0 ? 0 : size - 1)) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    auto [it, fresh] = lines_.try_emplace(line);
+    LineState& s = it->second;
+    if (fresh) {
+      s.refreshed_at = now;
+      continue;  // first observation: retention clock starts here
+    }
+    const sim::Cycle age = now - s.refreshed_at;
+    const std::uint64_t epoch = age >> faults_.retention_window_log2;
+    if (epoch < failure_epoch(line, s)) continue;
+    // The line has outlived its drawn retention budget: deliver the fault
+    // and classify it from an independent slice of the same draw.
+    const std::uint64_t h = util::Hash64()
+                                .u64(faults_.seed)
+                                .u64(line)
+                                .u64(s.generation)
+                                .digest();
+    if ((h >> 40) % 100 < faults_.double_fault_pct) {
+      penalty.refill_cycles += ecc_.refill_cycles;
+      ++refills_;
+    } else {
+      penalty.correction_cycles += ecc_.correction_cycles;
+      ++corrections_;
+    }
+    // ECC scrub: the corrected (or refilled) data is written back, which
+    // refreshes retention and re-draws the next failure epoch.
+    s.refreshed_at = now;
+    ++s.generation;
+  }
+  return penalty;
+}
+
+void FaultInjector::on_store(Addr addr, unsigned size, sim::Cycle now) {
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + (size == 0 ? 0 : size - 1)) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    LineState& s = lines_[line];
+    s.refreshed_at = now;
+    ++s.generation;
+    ++s.wear;
+  }
+}
+
+void FaultInjector::reset() {
+  corrections_ = 0;
+  refills_ = 0;
+  lines_.clear();
+}
+
+FaultyDl1System::FaultyDl1System(std::unique_ptr<core::Dl1System> inner,
+                                 const FaultConfig& faults,
+                                 const EccConfig& ecc,
+                                 std::uint64_t line_bytes)
+    : inner_(std::move(inner)), injector_(faults, ecc, line_bytes) {}
+
+void FaultyDl1System::sync_stats() {
+  stats_ = inner_->stats();
+  stats_.ecc_corrections = injector_.corrections();
+  stats_.ecc_refills = injector_.refills();
+}
+
+sim::Cycle FaultyDl1System::load(Addr addr, unsigned size, sim::Cycle now) {
+  const sim::Cycle done = inner_->load(addr, size, now);
+  const FaultInjector::LoadPenalty penalty = injector_.on_load(addr, size, now);
+  sync_stats();
+  return done + penalty.total();
+}
+
+sim::Cycle FaultyDl1System::store(Addr addr, unsigned size, sim::Cycle now) {
+  const sim::Cycle done = inner_->store(addr, size, now);
+  injector_.on_store(addr, size, now);
+  sync_stats();
+  return done;
+}
+
+void FaultyDl1System::prefetch(Addr addr, sim::Cycle now) {
+  inner_->prefetch(addr, now);
+  sync_stats();
+}
+
+std::string FaultyDl1System::name() const { return inner_->name(); }
+
+const mem::SetAssocCache& FaultyDl1System::array() const {
+  return inner_->array();
+}
+
+void FaultyDl1System::reset() {
+  inner_->reset();
+  injector_.reset();
+  stats_ = {};
+}
+
+}  // namespace sttsim::reliability

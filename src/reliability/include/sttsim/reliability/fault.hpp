@@ -1,0 +1,154 @@
+// Retention-fault injection and ECC modelling.
+//
+// The Alif MRAM macro protects every 128-bit word with 16 ECC check bits
+// (SEC-DED): a single-bit retention flip is corrected on read at a small
+// latency cost, a double-bit flip is only detected and escalates to a line
+// refill from the next level. This module models that behaviour on top of
+// any DL1 organization:
+//
+//  * `FaultInjector` — a deterministic, seed-driven schedule of retention
+//    failures for resident STT-MRAM lines. Each (line, generation) pair
+//    draws a stable pseudo-random failure epoch from the configured raw
+//    failure rate; a line whose data has sat unrefreshed past that many
+//    retention windows delivers a fault on its next read. Stores (and
+//    ECC scrubs after a delivered fault) refresh the line and advance its
+//    generation, so wear — which accelerates retention loss — compounds
+//    deterministically. The schedule is a pure function of the access
+//    stream, so an independently instantiated injector driven by the same
+//    (addr, size, cycle) sequence reproduces it exactly; that is how the
+//    differential oracle predicts ECC-corrected outcomes without sharing
+//    state with the simulator.
+//  * `FaultyDl1System` — a decorator over any `core::Dl1System` adding the
+//    ECC read-path cost: corrected single-bit faults add
+//    `EccConfig::correction_cycles` to the load completion, double-bit
+//    faults add `EccConfig::refill_cycles` (the line refill), and the
+//    `ecc_corrections` / `ecc_refills` counters are surfaced through the
+//    normal MemStats channel.
+//
+// Faults are evaluated on loads only (the ECC engine sits on the read
+// path; writes re-encode check bits as a side effect of the write itself)
+// and are keyed by the access stream rather than by probing array
+// residency — a deliberate simplification that keeps the schedule
+// identical across the fast replay loop, the batched lanes, and the
+// oracle's observed path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "sttsim/core/dl1_system.hpp"
+#include "sttsim/sim/cycle.hpp"
+#include "sttsim/sim/stats.hpp"
+
+namespace sttsim::reliability {
+
+/// SEC-DED ECC geometry and read-path costs, per the Alif MRAM macro
+/// (16 check bits per 128-bit word).
+struct EccConfig {
+  unsigned word_bits = 128;       ///< protected data word
+  unsigned check_bits = 16;       ///< SEC-DED check bits per word
+  unsigned correction_cycles = 2;  ///< added to a load that corrects a
+                                   ///< single-bit flip
+  unsigned refill_cycles = 20;     ///< added to a load whose double-bit
+                                   ///< fault escalates to a line refill
+
+  /// Storage overhead of the check bits (0.125 for 16/128).
+  double storage_overhead() const {
+    return static_cast<double>(check_bits) / static_cast<double>(word_bits);
+  }
+
+  void validate() const;
+};
+
+/// Deterministic retention-fault schedule parameters.
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;          ///< campaign seed; folds into the digest
+  std::uint32_t fail_ppm = 10000;  ///< per-retention-window raw failure
+                                   ///< odds, parts per million (<= 1e6)
+  std::uint32_t double_fault_pct = 5;  ///< share of faults that are
+                                       ///< double-bit (0..100)
+  std::uint32_t retention_window_log2 = 10;  ///< cycles per retention
+                                             ///< window, log2
+  std::uint32_t wear_sensitivity_log2 = 12;  ///< every 2^N writes to a line
+                                             ///< doubles its failure odds
+
+  void validate() const;
+};
+
+/// Deterministic, seed-driven retention-fault source. Stateful per line;
+/// driven by the (addr, size, cycle) access stream. See file comment.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& faults, const EccConfig& ecc,
+                std::uint64_t line_bytes);
+
+  /// Extra cycles the ECC read path adds to this load, split by outcome so
+  /// oracle fault knobs can drop one component. Updates per-line state
+  /// (delivered faults scrub + refresh the line).
+  struct LoadPenalty {
+    sim::Cycle correction_cycles = 0;
+    sim::Cycle refill_cycles = 0;
+    sim::Cycle total() const { return correction_cycles + refill_cycles; }
+  };
+  LoadPenalty on_load(Addr addr, unsigned size, sim::Cycle now);
+
+  /// A store rewrites the touched line(s): refreshes retention, advances
+  /// the generation, and adds wear. Never faults (ECC re-encodes on
+  /// write).
+  void on_store(Addr addr, unsigned size, sim::Cycle now);
+
+  std::uint64_t corrections() const { return corrections_; }
+  std::uint64_t refills() const { return refills_; }
+
+  void reset();
+
+ private:
+  struct LineState {
+    sim::Cycle refreshed_at = 0;  ///< last write / scrub / first touch
+    std::uint64_t generation = 0;
+    std::uint64_t wear = 0;  ///< writes absorbed by this line
+  };
+
+  /// Stable failure epoch for (line, generation): the number of retention
+  /// windows the line survives unrefreshed before its next read faults.
+  std::uint64_t failure_epoch(std::uint64_t line, const LineState& s) const;
+
+  FaultConfig faults_;
+  EccConfig ecc_;
+  unsigned line_shift_;
+  std::uint64_t corrections_ = 0;
+  std::uint64_t refills_ = 0;
+  std::unordered_map<std::uint64_t, LineState> lines_;
+};
+
+/// Decorator adding the ECC read path (fault penalties + counters) to any
+/// DL1 organization. Timing-only: the wrapped organization's contents,
+/// replacement decisions, and counters are untouched; this wrapper adds
+/// penalty cycles to load completions and overlays the `ecc_corrections`
+/// / `ecc_refills` counters onto the inner stats.
+class FaultyDl1System final : public core::Dl1System {
+ public:
+  FaultyDl1System(std::unique_ptr<core::Dl1System> inner,
+                  const FaultConfig& faults, const EccConfig& ecc,
+                  std::uint64_t line_bytes);
+
+  sim::Cycle load(Addr addr, unsigned size, sim::Cycle now) override;
+  sim::Cycle store(Addr addr, unsigned size, sim::Cycle now) override;
+  void prefetch(Addr addr, sim::Cycle now) override;
+  std::string name() const override;
+  const mem::SetAssocCache& array() const override;
+  void reset() override;
+
+  const core::Dl1System& inner() const { return *inner_; }
+
+ private:
+  void sync_stats();
+
+  std::unique_ptr<core::Dl1System> inner_;
+  FaultInjector injector_;
+};
+
+}  // namespace sttsim::reliability

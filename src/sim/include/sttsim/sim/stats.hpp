@@ -56,6 +56,16 @@ struct MemStats {
   // Contention.
   std::uint64_t bank_conflict_cycles = 0;
 
+  // Reliability (src/reliability). ECC events are part of the per-op
+  // timing contract and are checked by the differential oracle; the wear
+  // counters are end-of-run snapshots of the L1 array's physical frame
+  // wear (set by the run loops when they assemble RunStats), feeding the
+  // lifetime figures through the result store.
+  std::uint64_t ecc_corrections = 0;  ///< single-bit flips corrected on read
+  std::uint64_t ecc_refills = 0;      ///< double-bit faults -> line refill
+  std::uint64_t l1_frame_writes_max = 0;    ///< hottest L1 frame's wear
+  std::uint64_t l1_frame_writes_total = 0;  ///< total L1 array frame wear
+
   double front_hit_rate() const;
   double l1_miss_rate() const;
 };
@@ -94,7 +104,7 @@ std::string to_json(const RunStats& s);
 /// the store schema: adding/reordering a counter MUST bump
 /// exec::ResultStore::kSchemaVersion. encode/decode are exact inverses
 /// (all counters are integers — no rounding).
-inline constexpr std::size_t kRunStatsWords = 7 + 20;  // core + mem counters
+inline constexpr std::size_t kRunStatsWords = 7 + 24;  // core + mem counters
 inline constexpr std::size_t kRunStatsBytes = kRunStatsWords * 8;
 
 void encode_run_stats(const RunStats& s, std::uint8_t* out);  ///< kRunStatsBytes

@@ -55,6 +55,11 @@ std::string to_string(const RunStats& s) {
   out += strprintf("bank conflicts    : %llu cycles\n",
                    static_cast<unsigned long long>(
                        s.mem.bank_conflict_cycles));
+  if (s.mem.ecc_corrections != 0 || s.mem.ecc_refills != 0) {
+    out += strprintf("ECC events        : %llu corrections / %llu refills\n",
+                     static_cast<unsigned long long>(s.mem.ecc_corrections),
+                     static_cast<unsigned long long>(s.mem.ecc_refills));
+  }
   return out;
 }
 
@@ -93,6 +98,10 @@ std::string to_json(const RunStats& s) {
   add("l2_array_reads", u(s.mem.l2_array_reads));
   add("l2_array_writes", u(s.mem.l2_array_writes));
   add("bank_conflict_cycles", u(s.mem.bank_conflict_cycles));
+  add("ecc_corrections", u(s.mem.ecc_corrections));
+  add("ecc_refills", u(s.mem.ecc_refills));
+  add("l1_frame_writes_max", u(s.mem.l1_frame_writes_max));
+  add("l1_frame_writes_total", u(s.mem.l1_frame_writes_total));
   return "{" + join(fields, ",") + "}";
 }
 
@@ -130,6 +139,10 @@ void for_each_counter(Stats& s, F&& f) {
   f(s.mem.l2_array_reads);
   f(s.mem.l2_array_writes);
   f(s.mem.bank_conflict_cycles);
+  f(s.mem.ecc_corrections);
+  f(s.mem.ecc_refills);
+  f(s.mem.l1_frame_writes_max);
+  f(s.mem.l1_frame_writes_total);
 }
 
 }  // namespace

@@ -256,6 +256,135 @@ TEST(CompressedTrace, CursorMatchesDecompress) {
   EXPECT_EQ(i, expanded.ops.size());
 }
 
+// ---- Adversarial round-trip properties -------------------------------
+//
+// compress()/decompress() claim to be exact inverses for ANY op stream.
+// The generated-trace tests above only reach the friendly encodings, so
+// these drive the worst corners of the format head-on: address deltas of
+// maximal magnitude in both directions (10-byte zigzag varints, wraparound
+// through 2^64), the prefetch+size+varint tag whose bit pattern collides
+// with the 0xFF escape, and zero-length exec runs.
+
+cpu::DecodedOp mem_op(cpu::OpKind kind, Addr addr, std::uint8_t size) {
+  cpu::DecodedOp op;
+  op.kind = kind;
+  op.addr = addr;
+  op.size = size;
+  const bool mem = kind != cpu::OpKind::kPrefetch;
+  op.span32 = mem ? cpu::span_of(addr, size, 5) : std::uint8_t{1};
+  op.span64 = mem ? cpu::span_of(addr, size, 6) : std::uint8_t{1};
+  return op;
+}
+
+cpu::DecodedOp exec_op(std::uint32_t count) {
+  cpu::DecodedOp op;
+  op.kind = cpu::OpKind::kExec;
+  op.count = count;
+  op.size = 0;
+  return op;
+}
+
+TEST(CompressedTrace, MaxMagnitudeDeltasRoundTrip) {
+  // Consecutive addresses chosen so the deltas hit INT64_MIN, INT64_MAX,
+  // -1, +1, and full wraparound — the zigzag/varint stack's extremes.
+  const Addr extremes[] = {
+      0x0ULL,
+      0x8000000000000000ULL,  // delta INT64_MIN
+      0x0ULL,                 // delta INT64_MIN again (wraps the other way)
+      0x7fffffffffffffffULL,  // delta INT64_MAX
+      0xffffffffffffffffULL,  // delta INT64_MIN (as int64)
+      0xfffffffffffffffeULL,  // delta -1
+      0xffffffffffffffffULL,  // delta +1
+      0x1ULL,                 // delta +2 (wraps through zero)
+  };
+  cpu::DecodedTrace t;
+  for (const Addr a : extremes) {
+    t.ops.push_back(mem_op(cpu::OpKind::kLoad, a, 8));
+  }
+  expect_ops_equal(cpu::decompress(cpu::compress(t)), t);
+}
+
+TEST(CompressedTrace, EscapeCollisionTagRoundTrips) {
+  // A prefetch with a changed size byte and a >= 31 zigzag delta encodes
+  // tag 0b11111111 — exactly the escape marker. The compressor must detect
+  // the collision and fall back to the verbatim form, and prev_addr /
+  // prev_size tracking must stay consistent so the *next* delta-coded op
+  // still expands correctly.
+  cpu::DecodedTrace t;
+  t.ops.push_back(mem_op(cpu::OpKind::kLoad, 0x1000, 8));  // prev = (0x1000, 8)
+  cpu::DecodedOp collide = mem_op(cpu::OpKind::kPrefetch, 0x1400, 0);
+  t.ops.push_back(collide);  // delta 0x400, size 0 != 8 -> tag would be 0xFF
+  t.ops.push_back(mem_op(cpu::OpKind::kLoad, 0x1408, 8));  // delta vs 0x1400
+  const cpu::CompressedTrace c = cpu::compress(t);
+  // The collision op must have taken the 17-byte escape.
+  std::size_t escapes = 0;
+  for (std::size_t i = 0; i < c.bytes.size();) {
+    if (c.bytes[i] == 0xFFu) {
+      ++escapes;
+      i += 1 + sizeof(cpu::DecodedOp);
+    } else {
+      ++i;
+    }
+  }
+  EXPECT_EQ(escapes, 1u);
+  expect_ops_equal(cpu::decompress(c), t);
+}
+
+TEST(CompressedTrace, AdversarialPropertyFuzz) {
+  // Property: for 64 seeded random streams mixing every nasty shape —
+  // extreme addresses, every kind, size changes on every op, zero-length
+  // exec runs, and the 62/63/64 inline-count boundary — decompress is the
+  // exact inverse and the cursor agrees op-for-op.
+  const Addr hot_spots[] = {0x0ULL,
+                            0x1ULL,
+                            0x7fffffffffffffffULL,
+                            0x8000000000000000ULL,
+                            0x8000000000000001ULL,
+                            0xffffffffffffffffULL,
+                            0x1000ULL,
+                            0x1008ULL};
+  const std::uint8_t sizes[] = {0, 1, 2, 4, 8, 16, 32, 64, 255};
+  const std::uint32_t counts[] = {0, 1, 2, 62, 63, 64, 100000};
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    Rng rng(seed);
+    cpu::DecodedTrace t;
+    for (unsigned i = 0; i < 200; ++i) {
+      switch (rng.next_below(4)) {
+        case 0:
+          t.ops.push_back(exec_op(counts[rng.next_below(std::size(counts))]));
+          break;
+        case 1:
+          t.ops.push_back(mem_op(cpu::OpKind::kLoad,
+                                 hot_spots[rng.next_below(std::size(hot_spots))],
+                                 sizes[rng.next_below(std::size(sizes))]));
+          break;
+        case 2: {
+          t.ops.push_back(
+              mem_op(cpu::OpKind::kStore,
+                     hot_spots[rng.next_below(std::size(hot_spots))],
+                     sizes[rng.next_below(std::size(sizes))]));
+          t.store_values.push_back(rng.next_u64());
+          break;
+        }
+        default:
+          t.ops.push_back(
+              mem_op(cpu::OpKind::kPrefetch,
+                     hot_spots[rng.next_below(std::size(hot_spots))],
+                     sizes[rng.next_below(std::size(sizes))]));
+      }
+    }
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const cpu::CompressedTrace c = cpu::compress(t);
+    EXPECT_EQ(c.size(), t.ops.size());
+    expect_ops_equal(cpu::decompress(c), t);
+    cpu::CompressedCursor cursor(c);
+    cpu::DecodedOp op;
+    std::size_t n = 0;
+    while (cursor.next(op)) ++n;
+    EXPECT_EQ(n, t.ops.size());
+  }
+}
+
 // ---- Batch partitioning ----------------------------------------------
 
 TEST(PartitionBatches, HomogeneousBoundedAndComplete) {
@@ -287,6 +416,24 @@ TEST(PartitionBatches, HomogeneousBoundedAndComplete) {
   }
   for (std::size_t i = 0; i < covered.size(); ++i) {
     EXPECT_EQ(covered[i], 1u) << "index " << i;
+  }
+}
+
+TEST(PartitionBatches, FaultedLanesNeverShareABatchWithCleanOnes) {
+  // A fault-injecting lane replays through the virtual decorator loop while
+  // a clean lane of the same concrete class uses the devirtualized one, so
+  // they must land in different parts (run_batch requires every lane to
+  // carry the same batch function).
+  std::vector<cpu::SystemConfig> cfgs(4);
+  for (auto& c : cfgs) c.organization = cpu::Dl1Organization::kNvmVwb;
+  cfgs[1].faults.enabled = true;
+  cfgs[3].faults.enabled = true;
+  const auto parts = cpu::partition_batches(cfgs, 8);
+  ASSERT_EQ(parts.size(), 2u);
+  for (const auto& part : parts) {
+    for (std::size_t i : part) {
+      EXPECT_EQ(cfgs[i].faults_active(), cfgs[part.front()].faults_active());
+    }
   }
 }
 

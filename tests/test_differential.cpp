@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <vector>
 
 #include "sttsim/check/differential.hpp"
@@ -92,6 +94,75 @@ INSTANTIATE_TEST_SUITE_P(AllOrgs, DifferentialCampaign,
                            }
                            return n;
                          });
+
+/// Retention-fault campaign parameters: aggressive enough that faults
+/// actually fire inside a 600-op trace (window 1024 cycles, ~1 in 3 reads
+/// of a stale line), with a double-bit share so both the correction and
+/// the refill path are exercised.
+cpu::SystemConfig faulted_campaign_config(Dl1Organization org,
+                                          std::uint64_t fault_seed) {
+  cpu::SystemConfig cfg;
+  cfg.organization = org;
+  cfg.faults.enabled = true;
+  cfg.faults.seed = fault_seed;
+  cfg.faults.fail_ppm = 300'000;
+  cfg.faults.double_fault_pct = 25;
+  cfg.faults.retention_window_log2 = 10;
+  return cfg;
+}
+
+class FaultedDifferentialCampaign
+    : public ::testing::TestWithParam<Dl1Organization> {};
+
+TEST_P(FaultedDifferentialCampaign, OraclePredictsEccCorrectedOutcomes) {
+  // With fault injection live, the oracle rebuilds the retention-fault
+  // schedule from its own independently seeded injector and must still
+  // agree op-for-op: completion cycles (now including correction/refill
+  // penalties), every counter (including ecc_corrections / ecc_refills),
+  // and the data shadow. The fault seed varies with the trace seed so the
+  // campaign covers many schedules, not one.
+  const std::uint64_t seeds = campaign_seeds();
+  for (const Addr region : {4 * kKiB, 96 * kKiB}) {
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const cpu::SystemConfig cfg =
+          faulted_campaign_config(GetParam(), /*fault_seed=*/seed);
+      const cpu::Trace trace = random_trace(seed, 600, region);
+      const check::Divergence div = check::run_differential(cfg, trace);
+      ASSERT_FALSE(div.diverged)
+          << cpu::to_string(GetParam()) << " region " << region << " seed "
+          << seed << ": " << div.detail;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrgs, FaultedDifferentialCampaign,
+                         ::testing::ValuesIn(kAllOrgs),
+                         [](const auto& param_info) {
+                           std::string n = cpu::to_string(param_info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(BatchDifferentialCampaign, FaultedLanesMatchOracleInBatchedReplay) {
+  // Faulted and clean lanes of every organization ride one config list:
+  // the partitioner must keep them apart and each faulted lane's end state
+  // must match its oracle.
+  std::vector<cpu::SystemConfig> configs;
+  for (const Dl1Organization org : kAllOrgs) {
+    cpu::SystemConfig clean;
+    clean.organization = org;
+    configs.push_back(clean);
+    configs.push_back(faulted_campaign_config(org, 11));
+  }
+  const std::uint64_t seeds = std::max<std::uint64_t>(1, campaign_seeds() / 16);
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const cpu::Trace trace = random_trace(seed, 600, 96 * kKiB);
+    const check::Divergence div = check::run_batch_differential(configs, trace);
+    ASSERT_FALSE(div.diverged) << "seed " << seed << ": " << div.detail;
+  }
+}
 
 /// Adversarial trace for inclusion bugs: addresses confined to two L1 sets
 /// with four conflicting way-stride lines each (64 KiB 2-way DL1 → 32 KiB
@@ -192,6 +263,43 @@ TEST(FaultInjection, SkippedFillRegisterInvalidateIsCaught) {
   const check::MinimizeResult min = check::minimize_trace(cfg, trace, faults);
   EXPECT_TRUE(min.divergence.diverged);
   EXPECT_LE(min.trace.size(), 20u);
+}
+
+TEST(FaultInjection, SkippedEccCorrectionLatencyIsCaughtAndMinimized) {
+  // Deliberately broken ECC: the oracle omits the single-bit correction
+  // latency from faulted loads (the timing bug an ECC implementation would
+  // most plausibly have). The differential driver must flag the cycle
+  // disagreement and ddmin must shrink the trace to a handful of ops.
+  cpu::SystemConfig cfg = faulted_campaign_config(Dl1Organization::kNvmVwb, 3);
+  cfg.faults.double_fault_pct = 0;  // all faults take the correction path
+  check::OracleFaults faults;
+  faults.skip_ecc_correction_latency = true;
+
+  const cpu::Trace trace = find_diverging_trace(
+      cfg, faults,
+      [](std::uint64_t seed) { return random_trace(seed, 600, 8 * kKiB); });
+  ASSERT_FALSE(trace.empty()) << "fault was never exposed";
+
+  const check::MinimizeResult min = check::minimize_trace(cfg, trace, faults);
+  EXPECT_TRUE(min.divergence.diverged);
+  EXPECT_LE(min.trace.size(), 20u) << "minimizer left a bloated reproducer";
+  // The minimal trace must still be a genuine reproducer on a fresh run,
+  // and a clean oracle must agree with the simulator on it.
+  EXPECT_TRUE(check::run_differential(cfg, min.trace, faults).diverged);
+  EXPECT_FALSE(check::run_differential(cfg, min.trace).diverged);
+
+  // The reproducer artifact records the fault campaign so the divergence
+  // is replayable from the command line.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sttsim_ecc_repro").string();
+  const std::string path = check::write_reproducer(dir, "ecc_skip", cfg, min);
+  EXPECT_EQ(cpu::read_trace_file(path), min.trace);
+  std::ifstream txt(dir + "/ecc_skip.txt");
+  const std::string body((std::istreambuf_iterator<char>(txt)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(body.find("--faults="), std::string::npos);
+  EXPECT_NE(body.find("--ecc="), std::string::npos);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(FaultInjection, ReproducerArtifactRoundTrips) {

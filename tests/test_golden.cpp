@@ -42,6 +42,11 @@ constexpr GoldenCase kCases[] = {
     {"exploration_iso_area", &experiments::exploration_iso_area},
     {"sensitivity_clock", &experiments::sensitivity_clock},
     {"sensitivity_cell", &experiments::sensitivity_cell},
+    // The reliability family runs a fixed fault seed (kReliabilitySeed in
+    // figures.cpp), so its values are as deterministic as the rest.
+    {"fig_reliability_retention", &experiments::fig_reliability_retention},
+    {"fig_reliability_lifetime", &experiments::fig_reliability_lifetime},
+    {"fig_reliability_ecc_overhead", &experiments::fig_reliability_ecc_overhead},
 };
 
 bool update_requested() {

@@ -60,6 +60,9 @@ TEST_F(ParallelDeterminism, AllFigureFunctionsAreJobCountInvariant) {
   expect_identical("exploration_iso_area", exploration_iso_area);
   expect_identical("sensitivity_clock", sensitivity_clock);
   expect_identical("sensitivity_cell", sensitivity_cell);
+  expect_identical("fig_reliability_retention", fig_reliability_retention);
+  expect_identical("fig_reliability_lifetime", fig_reliability_lifetime);
+  expect_identical("fig_reliability_ecc_overhead", fig_reliability_ecc_overhead);
 }
 
 TEST_F(ParallelDeterminism, LifetimeReportIsJobCountInvariant) {

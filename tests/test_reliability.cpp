@@ -1,10 +1,18 @@
-// Unit tests: wear tracking and endurance projection.
+// Unit tests: wear tracking, endurance projection, and the retention-fault
+// / ECC model (reliability/fault.hpp).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
+#include "sttsim/cpu/batch_replay.hpp"
 #include "sttsim/cpu/system.hpp"
 #include "sttsim/mem/set_assoc_cache.hpp"
 #include "sttsim/reliability/endurance.hpp"
+#include "sttsim/reliability/fault.hpp"
+#include "sttsim/sim/stats.hpp"
 #include "sttsim/util/check.hpp"
+#include "sttsim/util/rng.hpp"
 #include "sttsim/workloads/kernels.hpp"
 
 namespace sttsim::reliability {
@@ -141,6 +149,309 @@ TEST(Endurance, EndToEndSttOutlivesPramByTenOrders) {
   EXPECT_TRUE(project_lifetime(wear, stt_mram_endurance())
                   .effectively_unlimited());
   EXPECT_LT(project_lifetime(wear, pram_endurance()).years(), 0.1);
+}
+
+// ---- Wear maps --------------------------------------------------------
+
+TEST(WearMap, SnapshotsPerFrameWrites) {
+  mem::SetAssocCache c(mem::CacheGeometry{1024, 2, 64});  // 8 sets x 2 ways
+  c.fill(0x0000, false);                // set 0, one write
+  c.fill(0x0200, false);                // set 0, second way
+  for (int i = 0; i < 4; ++i) c.access(0x0000, true);
+  const WearMap m = wear_map(c);
+  EXPECT_EQ(m.sets, 8u);
+  EXPECT_EQ(m.ways, 2u);
+  ASSERT_EQ(m.writes.size(), 16u);
+  EXPECT_EQ(m.set_max(0), 5u);  // fill + 4 writes on the hot frame
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : m.writes) total += w;
+  EXPECT_EQ(total, c.total_writes());
+}
+
+TEST(WearMap, ImbalanceAndWritesToFailure) {
+  mem::SetAssocCache c(mem::CacheGeometry{1024, 2, 64});
+  const WearMap empty = wear_map(c);
+  EXPECT_DOUBLE_EQ(empty.imbalance(), 1.0);
+  EXPECT_TRUE(std::isinf(empty.writes_to_failure(pram_endurance())));
+
+  c.fill(0x0000, false);
+  for (int i = 0; i < 15; ++i) c.access(0x0000, true);  // hot frame: 16
+  const WearMap m = wear_map(c);
+  // 16 writes on one of 16 frames: max/mean = 16 / 1 = 16.
+  EXPECT_DOUBLE_EQ(m.imbalance(), 16.0);
+  // All writes land on the hot frame, so the array fails when that frame
+  // absorbs the endurance budget: 1e6 more writes at share 16/16.
+  EXPECT_NEAR(m.writes_to_failure(pram_endurance()), 1e6, 1e6 * 1e-9);
+}
+
+TEST(Endurance, ProfileFromCountersMatchesProfileWear) {
+  mem::SetAssocCache c(mem::CacheGeometry{1024, 2, 64});
+  c.fill(0x0000, false);
+  c.access(0x0000, true);
+  c.fill(0x0040, false);
+  const WearProfile direct = profile_wear(c, 5000, 2.0);
+  const WearProfile rebuilt = profile_from_counters(
+      c.max_frame_writes(), c.total_writes(), 16, 5000, 2.0);
+  EXPECT_EQ(rebuilt.max_frame_writes, direct.max_frame_writes);
+  EXPECT_EQ(rebuilt.total_writes, direct.total_writes);
+  EXPECT_EQ(rebuilt.frames, direct.frames);
+  EXPECT_EQ(rebuilt.elapsed_cycles, direct.elapsed_cycles);
+  EXPECT_DOUBLE_EQ(rebuilt.clock_ghz, direct.clock_ghz);
+}
+
+// ---- Retention-fault injection ----------------------------------------
+
+FaultConfig test_faults(std::uint32_t ppm, std::uint32_t double_pct = 0) {
+  FaultConfig f;
+  f.enabled = true;
+  f.seed = 7;
+  f.fail_ppm = ppm;
+  f.double_fault_pct = double_pct;
+  f.retention_window_log2 = 10;  // 1024-cycle window
+  f.wear_sensitivity_log2 = 12;
+  return f;
+}
+
+constexpr sim::Cycle kWindow = 1024;
+
+TEST(FaultInjector, CertainFailureAfterOneRetentionWindow) {
+  // fail_ppm = 1e6: every (line, generation) draws failure epoch 1, so a
+  // read one full window after the refresh always faults; a read inside
+  // the window never does.
+  FaultInjector inj(test_faults(1'000'000), EccConfig{}, 64);
+  EXPECT_EQ(inj.on_load(0x1000, 8, 0).total(), 0u);  // first touch: refresh
+  EXPECT_EQ(inj.on_load(0x1000, 8, kWindow - 1).total(), 0u);  // in-window
+  const auto p = inj.on_load(0x1000, 8, kWindow);
+  EXPECT_GT(p.total(), 0u);  // one window elapsed: certain fault
+  EXPECT_EQ(inj.corrections() + inj.refills(), 1u);
+  // The delivered fault scrubbed the line: reading again inside the new
+  // window is clean, one window later it faults again.
+  EXPECT_EQ(inj.on_load(0x1000, 8, kWindow + 1).total(), 0u);
+  EXPECT_GT(inj.on_load(0x1000, 8, 2 * kWindow).total(), 0u);
+}
+
+TEST(FaultInjector, ZeroRateNeverFaults) {
+  FaultInjector inj(test_faults(0), EccConfig{}, 64);
+  for (sim::Cycle t = 0; t < 100 * kWindow; t += kWindow) {
+    EXPECT_EQ(inj.on_load(0x2000, 8, t).total(), 0u);
+  }
+  EXPECT_EQ(inj.corrections(), 0u);
+  EXPECT_EQ(inj.refills(), 0u);
+}
+
+TEST(FaultInjector, StoresRefreshRetention) {
+  FaultInjector inj(test_faults(1'000'000), EccConfig{}, 64);
+  inj.on_load(0x3000, 8, 0);  // first touch
+  // Keep writing just before each deadline: reads stay clean forever.
+  for (int w = 1; w <= 10; ++w) {
+    inj.on_store(0x3000, 8, w * kWindow - 2);
+    EXPECT_EQ(inj.on_load(0x3000, 8, w * kWindow).total(), 0u) << w;
+  }
+}
+
+TEST(FaultInjector, DoubleFaultShareControlsEscalation) {
+  EccConfig ecc;
+  ecc.correction_cycles = 3;
+  ecc.refill_cycles = 30;
+  {
+    FaultInjector inj(test_faults(1'000'000, /*double_pct=*/0), ecc, 64);
+    inj.on_load(0x4000, 8, 0);
+    const auto p = inj.on_load(0x4000, 8, kWindow);
+    EXPECT_EQ(p.correction_cycles, 3u);
+    EXPECT_EQ(p.refill_cycles, 0u);
+    EXPECT_EQ(inj.corrections(), 1u);
+    EXPECT_EQ(inj.refills(), 0u);
+  }
+  {
+    FaultInjector inj(test_faults(1'000'000, /*double_pct=*/100), ecc, 64);
+    inj.on_load(0x4000, 8, 0);
+    const auto p = inj.on_load(0x4000, 8, kWindow);
+    EXPECT_EQ(p.correction_cycles, 0u);
+    EXPECT_EQ(p.refill_cycles, 30u);
+    EXPECT_EQ(inj.corrections(), 0u);
+    EXPECT_EQ(inj.refills(), 1u);
+  }
+}
+
+TEST(FaultInjector, WearAcceleratesRetentionLoss) {
+  // fail_ppm = 1000 and wear_sensitivity 0: after >= 1000 writes the
+  // effective rate saturates at 1e6 ppm, so the next out-of-window read
+  // faults with certainty. A lightly written twin does not (its failure
+  // epoch at 1000 ppm is hundreds of windows for this seed).
+  FaultConfig f = test_faults(1000);
+  f.wear_sensitivity_log2 = 0;  // boost = 1 + wear
+  FaultInjector worn(f, EccConfig{}, 64);
+  FaultInjector fresh(f, EccConfig{}, 64);
+  fresh.on_load(0x5000, 8, 0);
+  for (int i = 0; i < 1000; ++i) worn.on_store(0x5000, 8, 0);
+  EXPECT_GT(worn.on_load(0x5000, 8, kWindow).total(), 0u);
+  EXPECT_EQ(fresh.on_load(0x5000, 8, kWindow).total(), 0u);
+}
+
+TEST(FaultInjector, DeterministicUnderReplayAndReset) {
+  // The schedule is a pure function of (seed, access stream): an
+  // independently constructed injector — and the same injector after
+  // reset() — reproduces every penalty exactly. This is the property the
+  // differential oracle relies on.
+  const FaultConfig f = test_faults(400'000, 30);
+  const auto drive = [&f](FaultInjector& inj) {
+    std::vector<std::uint64_t> log;
+    Rng rng(99);
+    sim::Cycle now = 0;
+    for (int i = 0; i < 3000; ++i) {
+      const Addr addr = rng.next_below(64) * 64;
+      now += rng.next_below(200);
+      if (rng.next_below(4) == 0) {
+        inj.on_store(addr, 8, now);
+      } else {
+        const auto p = inj.on_load(addr, 8, now);
+        log.push_back(p.correction_cycles);
+        log.push_back(p.refill_cycles);
+      }
+    }
+    log.push_back(inj.corrections());
+    log.push_back(inj.refills());
+    return log;
+  };
+  FaultInjector a(f, EccConfig{}, 64);
+  FaultInjector b(f, EccConfig{}, 64);
+  const auto log_a = drive(a);
+  EXPECT_EQ(log_a, drive(b));
+  EXPECT_GT(a.corrections() + a.refills(), 0u) << "campaign never faulted";
+  a.reset();
+  EXPECT_EQ(a.corrections(), 0u);
+  EXPECT_EQ(log_a, drive(a)) << "reset() did not restore the cold schedule";
+}
+
+TEST(FaultInjector, SeedSelectsADifferentSchedule) {
+  FaultConfig f1 = test_faults(200'000);
+  FaultConfig f2 = f1;
+  f2.seed = f1.seed + 1;
+  FaultInjector a(f1, EccConfig{}, 64);
+  FaultInjector b(f2, EccConfig{}, 64);
+  std::uint64_t faults_a = 0, faults_b = 0;
+  bool differed = false;
+  for (int line = 0; line < 64 && !differed; ++line) {
+    const Addr addr = static_cast<Addr>(line) * 64;
+    a.on_load(addr, 8, 0);
+    b.on_load(addr, 8, 0);
+    for (int w = 1; w <= 16; ++w) {
+      const bool fa = a.on_load(addr, 8, w * kWindow).total() > 0;
+      const bool fb = b.on_load(addr, 8, w * kWindow).total() > 0;
+      faults_a += fa;
+      faults_b += fb;
+      if (fa != fb) differed = true;
+    }
+  }
+  EXPECT_TRUE(differed) << "seeds produced identical schedules";
+}
+
+TEST(FaultConfig, ValidationRejectsBadParameters) {
+  FaultConfig f = test_faults(1'000'001);
+  EXPECT_THROW(f.validate(), ConfigError);
+  f = test_faults(100);
+  f.double_fault_pct = 101;
+  EXPECT_THROW(f.validate(), ConfigError);
+  f = test_faults(100);
+  f.retention_window_log2 = 32;
+  EXPECT_THROW(f.validate(), ConfigError);
+  EccConfig e;
+  e.word_bits = 0;
+  EXPECT_THROW(e.validate(), ConfigError);
+  EXPECT_DOUBLE_EQ(EccConfig{}.storage_overhead(), 0.125);
+}
+
+// ---- FaultyDl1System (the production decorator) ------------------------
+
+TEST(FaultyDl1, AddsPenaltiesAndSurfacesCountersThroughStats) {
+  cpu::SystemConfig clean_cfg;
+  clean_cfg.organization = cpu::Dl1Organization::kNvmVwb;
+  cpu::SystemConfig faulty_cfg = clean_cfg;
+  faulty_cfg.faults = test_faults(300'000, 20);
+  ASSERT_TRUE(faulty_cfg.faults_active());
+
+  const auto trace =
+      workloads::jacobi_1d(2048, 4, workloads::CodegenOptions::none());
+  cpu::System clean(clean_cfg);
+  cpu::System faulty(faulty_cfg);
+  const auto clean_stats = clean.run(trace);
+  const auto faulty_stats = faulty.run(trace);
+
+  // The decorator is timing-only: hit/miss behaviour is untouched...
+  EXPECT_EQ(faulty_stats.mem.loads, clean_stats.mem.loads);
+  EXPECT_EQ(faulty_stats.mem.l1_misses, clean_stats.mem.l1_misses);
+  EXPECT_EQ(faulty_stats.mem.front_hits, clean_stats.mem.front_hits);
+  // ...but corrected/refilled reads cost cycles and are counted.
+  const std::uint64_t events =
+      faulty_stats.mem.ecc_corrections + faulty_stats.mem.ecc_refills;
+  EXPECT_GT(events, 0u) << "campaign parameters never delivered a fault";
+  EXPECT_GT(faulty_stats.core.total_cycles, clean_stats.core.total_cycles);
+  EXPECT_EQ(clean_stats.mem.ecc_corrections, 0u);
+  EXPECT_EQ(clean_stats.mem.ecc_refills, 0u);
+  // The decorator preserves the inner organization's identity.
+  EXPECT_EQ(faulty.dl1().name(), clean.dl1().name());
+}
+
+TEST(FaultyDl1, SramBaselineIgnoresFaultConfig) {
+  // Retention faults are an STT-MRAM phenomenon: the SRAM baseline never
+  // activates the decorator even with faults.enabled set.
+  cpu::SystemConfig cfg;
+  cfg.organization = cpu::Dl1Organization::kSramBaseline;
+  cfg.faults = test_faults(1'000'000);
+  EXPECT_FALSE(cfg.faults_active());
+  cpu::System sys(cfg);
+  const auto trace =
+      workloads::jacobi_1d(1024, 2, workloads::CodegenOptions::none());
+  const auto stats = sys.run(trace);
+  EXPECT_EQ(stats.mem.ecc_corrections, 0u);
+  EXPECT_EQ(stats.mem.ecc_refills, 0u);
+}
+
+TEST(FaultyDl1, BatchedFaultedLanesMatchSoloRuns) {
+  // run_batch over faulted lanes routes through the virtual replay loop;
+  // each lane must still be bit-identical to its solo run, and the wear
+  // counters must be populated on both paths.
+  cpu::SystemConfig cfg;
+  cfg.organization = cpu::Dl1Organization::kNvmDropIn;
+  cfg.faults = test_faults(300'000, 10);
+  std::vector<cpu::SystemConfig> cfgs;
+  for (unsigned i = 0; i < 3; ++i) {
+    cfg.faults.seed = 100 + i;
+    cfgs.push_back(cfg);
+  }
+  const auto trace =
+      workloads::jacobi_1d(2048, 3, workloads::CodegenOptions::none());
+  const cpu::DecodedTrace decoded = cpu::decode(trace);
+
+  std::vector<cpu::System> systems;
+  systems.reserve(cfgs.size());
+  for (const auto& c : cfgs) systems.emplace_back(c);
+  std::vector<cpu::System*> lanes;
+  for (auto& s : systems) lanes.push_back(&s);
+  const auto batched = cpu::System::run_batch(cpu::compress(decoded), lanes);
+  ASSERT_EQ(batched.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    cpu::System solo(cfgs[i]);
+    const auto expect = solo.run(decoded);
+    EXPECT_EQ(sim::to_json(batched[i]), sim::to_json(expect)) << "lane " << i;
+    EXPECT_GT(batched[i].mem.l1_frame_writes_total, 0u);
+  }
+}
+
+TEST(FaultyDl1, WearCountersPopulatedOnEveryReplayPath) {
+  cpu::SystemConfig cfg;
+  cfg.organization = cpu::Dl1Organization::kNvmVwb;
+  const auto trace =
+      workloads::jacobi_1d(1024, 2, workloads::CodegenOptions::none());
+  cpu::System sys(cfg);
+  const auto from_decoded = sys.run(cpu::decode(trace));
+  cpu::System sys2(cfg);
+  const auto from_raw = sys2.run(trace);
+  EXPECT_GT(from_decoded.mem.l1_frame_writes_total, 0u);
+  EXPECT_EQ(from_decoded.mem.l1_frame_writes_max,
+            from_raw.mem.l1_frame_writes_max);
+  EXPECT_EQ(from_decoded.mem.l1_frame_writes_total,
+            from_raw.mem.l1_frame_writes_total);
 }
 
 }  // namespace

@@ -220,6 +220,60 @@ TEST(ResultStore, ConcurrentAppendFromEightThreads) {
   std::remove(path.c_str());
 }
 
+// Cross-reopen interleaving — documents the supported sharing model: ONE
+// process (one ResultStore instance) owns a store for writing. A second
+// instance opened on the same path mid-run always reads a well-formed,
+// record-aligned snapshot (no torn reads), and a digest the snapshot
+// already holds is never overwritten (first write wins). What is NOT
+// guaranteed: appends made through the second instance survive once the
+// first instance appends again — each instance carries its own file
+// position, so the original writer's next record lands where the
+// second writer's did. The test pins both halves of that contract: the
+// prefix every reopen observes is exact, the original writer's records are
+// never lost or corrupted, and an interloper's record is either intact or
+// cleanly absent — never a torn/misaligned tail.
+TEST(ResultStore, CrossReopenSeesConsistentSnapshotAndFirstWriteWins) {
+  const std::string path = temp_store_path("crossreopen");
+  std::remove(path.c_str());
+  exec::ResultStore first(path, kTestPayload);
+  constexpr std::uint64_t kRounds = 32;
+  std::uint8_t out[kTestPayload];
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    first.append(r, make_payload(static_cast<std::uint8_t>(r)).data());
+
+    // Reopen between appends: every record the owner wrote so far must
+    // come back intact — no drops, no truncation, no torn bytes.
+    exec::ResultStore second(path, kTestPayload);
+    EXPECT_EQ(second.dropped_records(), 0u);
+    EXPECT_EQ(second.truncated_bytes(), 0u);
+    for (std::uint64_t d = 0; d <= r; ++d) {
+      ASSERT_TRUE(second.lookup(d, out)) << "round " << r << " digest " << d;
+      EXPECT_EQ(out[0], static_cast<std::uint8_t>(d));
+    }
+
+    // Re-appending a digest the snapshot holds is a no-op (first write
+    // wins), and a foreign append exercises the overwrite hazard the
+    // contract disclaims below.
+    second.append(r, make_payload(static_cast<std::uint8_t>(r + 100)).data());
+    second.append(1000 + r,
+                  make_payload(static_cast<std::uint8_t>(r + 1)).data());
+  }
+  // Final reopen: the owner's records all survive with their original
+  // bytes; the interloper's are each either intact or absent — and the
+  // file parses with zero dropped (corrupt) records either way.
+  exec::ResultStore final_view(path, kTestPayload);
+  EXPECT_EQ(final_view.dropped_records(), 0u);
+  EXPECT_EQ(final_view.truncated_bytes(), 0u);
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    ASSERT_TRUE(final_view.lookup(r, out)) << "owner record " << r << " lost";
+    EXPECT_EQ(out[0], static_cast<std::uint8_t>(r)) << "first write lost";
+    if (final_view.lookup(1000 + r, out)) {
+      EXPECT_EQ(out[0], static_cast<std::uint8_t>(r + 1));
+    }
+  }
+  std::remove(path.c_str());
+}
+
 // ---- Digest and engine-level behavior --------------------------------
 
 TEST(SimulationDigest, StableAndSensitiveToEveryInput) {
@@ -240,6 +294,41 @@ TEST(SimulationDigest, StableAndSensitiveToEveryInput) {
   edited = cfg;
   edited.stt.write_latency_ns *= 2.0;
   EXPECT_NE(d, experiments::simulation_digest("gemm", none, edited));
+}
+
+TEST(SimulationDigest, FaultCampaignFoldsIntoTheKeyOnlyWhenActive) {
+  const workloads::CodegenOptions none = workloads::CodegenOptions::none();
+  cpu::SystemConfig cfg = experiments::make_config(cpu::Dl1Organization::kNvmVwb);
+  const std::uint64_t clean = experiments::simulation_digest("gemm", none, cfg);
+
+  // Enabling injection re-keys the point; every fault/ECC parameter is
+  // part of the key.
+  cfg.faults.enabled = true;
+  const std::uint64_t faulted = experiments::simulation_digest("gemm", none, cfg);
+  EXPECT_NE(clean, faulted);
+  cpu::SystemConfig edited = cfg;
+  edited.faults.seed += 1;
+  EXPECT_NE(faulted, experiments::simulation_digest("gemm", none, edited));
+  edited = cfg;
+  edited.faults.fail_ppm *= 2;
+  EXPECT_NE(faulted, experiments::simulation_digest("gemm", none, edited));
+  edited = cfg;
+  edited.ecc.correction_cycles += 1;
+  EXPECT_NE(faulted, experiments::simulation_digest("gemm", none, edited));
+
+  // Inactive fault config must NOT perturb the key: a disabled seed edit
+  // keeps the clean digest...
+  cpu::SystemConfig disabled = experiments::make_config(cpu::Dl1Organization::kNvmVwb);
+  disabled.faults.seed = 999;
+  EXPECT_EQ(clean, experiments::simulation_digest("gemm", none, disabled));
+  // ...and the SRAM baseline never activates injection, so its points stay
+  // warm across fault-seed sweeps.
+  cpu::SystemConfig sram =
+      experiments::make_config(cpu::Dl1Organization::kSramBaseline);
+  const std::uint64_t sram_d = experiments::simulation_digest("gemm", none, sram);
+  sram.faults.enabled = true;
+  sram.faults.seed = 42;
+  EXPECT_EQ(sram_d, experiments::simulation_digest("gemm", none, sram));
 }
 
 /// RAII: installs a fresh store for one test and restores the previous
@@ -396,6 +485,61 @@ TEST(IncrementalGrid, SingleParameterEditRecomputesOnlyDirtyPoints) {
   const exec::TelemetrySnapshot delta2 = telemetry.snapshot() - before2;
   EXPECT_EQ(delta2.memo_hits, n_points);
   EXPECT_EQ(delta2.memo_misses, 0u);
+  std::remove(path.c_str());
+}
+
+// Fault-campaign incremental recomputation: re-running the same grid with
+// the same fault seed must be all warm hits (byte-identical), and editing
+// ONLY the fault seed must recompute exactly the fault-active points —
+// the SRAM baseline lanes stay warm because an inactive fault config never
+// reaches their digest.
+TEST(IncrementalGrid, FaultSeedEditRecomputesOnlyFaultActivePoints) {
+  const auto kernels = experiments::select_kernels({"atax"});
+  const workloads::CodegenOptions none = workloads::CodegenOptions::none();
+  std::vector<experiments::SuiteJob> jobs;
+  for (const auto org : {cpu::Dl1Organization::kSramBaseline,
+                         cpu::Dl1Organization::kNvmDropIn,
+                         cpu::Dl1Organization::kNvmVwb}) {
+    experiments::SuiteJob job{experiments::make_config(org), none};
+    job.config.faults.enabled = true;
+    job.config.faults.seed = 1;
+    jobs.push_back(job);
+  }
+  const std::size_t n_points = jobs.size() * kernels.size();
+  const std::size_t n_faulted = 2 * kernels.size();  // SRAM lane is inactive
+  const std::string path = temp_store_path("faultseed");
+  std::remove(path.c_str());
+
+  auto& telemetry = exec::Telemetry::instance();
+  ScopedStore store(path);
+  std::string cold;
+  {
+    experiments::TraceCache cache;
+    cold = grid_fingerprint(experiments::run_grid(cache, kernels, jobs));
+  }
+  // Same seed, fresh pass: all hits, byte-identical.
+  {
+    const exec::TelemetrySnapshot before = telemetry.snapshot();
+    experiments::TraceCache cache;
+    const std::string warm =
+        grid_fingerprint(experiments::run_grid(cache, kernels, jobs));
+    const exec::TelemetrySnapshot delta = telemetry.snapshot() - before;
+    EXPECT_EQ(delta.memo_hits, n_points);
+    EXPECT_EQ(delta.memo_misses, 0u);
+    EXPECT_EQ(warm, cold);
+  }
+  // Seed edit: exactly the fault-active points recompute.
+  for (auto& job : jobs) job.config.faults.seed = 2;
+  {
+    const exec::TelemetrySnapshot before = telemetry.snapshot();
+    experiments::TraceCache cache;
+    const std::string reseeded =
+        grid_fingerprint(experiments::run_grid(cache, kernels, jobs));
+    const exec::TelemetrySnapshot delta = telemetry.snapshot() - before;
+    EXPECT_EQ(delta.memo_misses, n_faulted);
+    EXPECT_EQ(delta.memo_hits, n_points - n_faulted);
+    EXPECT_NE(reseeded, cold) << "fault seed had no observable effect";
+  }
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Per-module line coverage from a gcov-instrumented build.
+#
+# Workflow:
+#   cmake --preset coverage          # configure build-coverage (-O0 --coverage)
+#   cmake --build --preset coverage -j
+#   ctest --preset coverage          # or any subset; .gcda accumulate
+#   tools/coverage_report.sh         # this report
+#
+# Prints one line per src/ module (line coverage aggregated over the
+# module's translation units, headers attributed to the module that owns
+# them). With --check, exits nonzero when a module listed in FLOORS is
+# below its documented floor (see EXPERIMENTS.md "Coverage floors").
+set -euo pipefail
+
+build_dir="build-coverage"
+check=0
+for arg in "$@"; do
+  case "$arg" in
+    --check) check=1 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+if [ ! -d "$build_dir" ]; then
+  echo "error: '$build_dir' not found." >&2
+  echo "  cmake --preset coverage && cmake --build --preset coverage -j && ctest --preset coverage" >&2
+  exit 1
+fi
+if ! find "$build_dir" -name '*.gcda' -print -quit | grep -q .; then
+  echo "error: no .gcda files under '$build_dir' — run the tests first." >&2
+  exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# One JSON document per object file, concatenated.
+find "$build_dir" -name '*.gcda' -print0 |
+  while IFS= read -r -d '' gcda; do
+    gcov --json-format --stdout "$gcda" 2>/dev/null || true
+  done > "$tmp/gcov.jsonl"
+
+CHECK="$check" python3 - "$tmp/gcov.jsonl" <<'PY'
+import collections
+import json
+import os
+import sys
+
+# Documented floors (line coverage, percent) — keep in sync with
+# EXPERIMENTS.md "Coverage floors".
+FLOORS = {"check": 80.0, "reliability": 90.0}
+
+covered = collections.defaultdict(set)  # module -> {(file, line)}
+total = collections.defaultdict(set)
+
+with open(sys.argv[1]) as f:
+    for doc_line in f:
+        doc_line = doc_line.strip()
+        if not doc_line:
+            continue
+        try:
+            doc = json.loads(doc_line)
+        except json.JSONDecodeError:
+            continue
+        for unit in doc.get("files", []):
+            path = unit["file"]
+            at = path.find("src/")
+            if at < 0:
+                continue
+            rel = path[at + len("src/"):]
+            module = rel.split("/", 1)[0]
+            for line in unit.get("lines", []):
+                key = (rel, line["line_number"])
+                total[module].add(key)
+                if line["count"] > 0:
+                    covered[module].add(key)
+
+if not total:
+    print("no src/ coverage records found", file=sys.stderr)
+    sys.exit(1)
+
+print(f"{'module':<14} {'lines':>7} {'covered':>8} {'coverage':>9}")
+print("-" * 41)
+failures = []
+all_cov, all_tot = 0, 0
+for module in sorted(total):
+    tot, cov = len(total[module]), len(covered[module])
+    all_tot += tot
+    all_cov += cov
+    pct = 100.0 * cov / tot
+    floor = FLOORS.get(module)
+    mark = ""
+    if floor is not None:
+        mark = f"  (floor {floor:.0f}%)"
+        if pct < floor:
+            failures.append((module, pct, floor))
+            mark += " FAIL"
+    print(f"{module:<14} {tot:>7} {cov:>8} {pct:>8.1f}%{mark}")
+print("-" * 41)
+print(f"{'TOTAL':<14} {all_tot:>7} {all_cov:>8} {100.0 * all_cov / all_tot:>8.1f}%")
+
+if os.environ.get("CHECK") == "1" and failures:
+    for module, pct, floor in failures:
+        print(f"FAIL: src/{module} at {pct:.1f}% < floor {floor:.0f}%",
+              file=sys.stderr)
+    sys.exit(2)
+PY

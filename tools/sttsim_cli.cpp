@@ -70,11 +70,16 @@ struct CliOptions {
       "nvm-writebuf[,...]]\n"
       "          [--opts=vec,pf,br] [--vwb-kbit=N] [--vwb-lines=N]\n"
       "          [--banks=N] [--clock-ghz=F] [--trace-out=FILE]\n"
+      "          [--faults=SEED[:PPM[:DOUBLEPCT]]] [--ecc=CORR[:REFILL]]\n"
       "          [--baseline-penalty] [--check-oracle] [--jobs=N] "
       "[--batch=K]\n"
       "          [--store=PATH] [--no-store] [--csv|--json]\n"
       "(a comma-separated --org list runs all of them in one batched\n"
-      " replay pass per organization class and reports them side by side)\n",
+      " replay pass per organization class and reports them side by side;\n"
+      " --faults enables deterministic retention-fault injection on NVM\n"
+      " organizations — SEED keys the schedule, PPM the per-window failure\n"
+      " odds, DOUBLEPCT the double-bit share; --ecc sets the SEC-DED\n"
+      " correction / line-refill penalty cycles)\n",
       argv0);
   std::exit(2);
 }
@@ -135,6 +140,20 @@ workloads::CodegenOptions parse_codegen(const std::string& list) {
   return o;
 }
 
+/// Splits a ':'-separated flag payload ("SEED:PPM:PCT") into fields.
+std::vector<std::string> split_fields(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t colon = s.find(':', pos);
+    out.push_back(
+        s.substr(pos, colon == std::string::npos ? colon : colon - pos));
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  return out;
+}
+
 CliOptions parse_args(int argc, char** argv) {
   CliOptions o;
   bool no_store = false;
@@ -179,6 +198,30 @@ CliOptions parse_args(int argc, char** argv) {
       o.system.nvm_banks = static_cast<unsigned>(std::stoul(val));
     } else if (take("--clock-ghz=")) {
       o.system.clock_ghz = std::stod(val);
+    } else if (take("--faults=")) {
+      // SEED[:PPM[:DOUBLEPCT]]
+      o.system.faults.enabled = true;
+      const std::vector<std::string> parts = split_fields(val);
+      if (parts.empty() || parts.size() > 3) usage(argv[0]);
+      o.system.faults.seed = std::stoull(parts[0]);
+      if (parts.size() > 1) {
+        o.system.faults.fail_ppm =
+            static_cast<std::uint32_t>(std::stoul(parts[1]));
+      }
+      if (parts.size() > 2) {
+        o.system.faults.double_fault_pct =
+            static_cast<std::uint32_t>(std::stoul(parts[2]));
+      }
+    } else if (take("--ecc=")) {
+      // CORR[:REFILL]
+      const std::vector<std::string> parts = split_fields(val);
+      if (parts.empty() || parts.size() > 2) usage(argv[0]);
+      o.system.ecc.correction_cycles =
+          static_cast<unsigned>(std::stoul(parts[0]));
+      if (parts.size() > 1) {
+        o.system.ecc.refill_cycles =
+            static_cast<unsigned>(std::stoul(parts[1]));
+      }
     } else if (take("--jobs=")) {
       exec::set_default_jobs(static_cast<unsigned>(std::stoul(val)));
     } else if (take("--batch=")) {
