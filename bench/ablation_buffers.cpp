@@ -4,7 +4,9 @@
 #include "sttsim/experiments/figures.hpp"
 
 int main(int argc, char** argv) {
-  const auto opts = sttsim::benchcli::parse(argc, argv);
-  return sttsim::benchcli::print_figure(
-      sttsim::experiments::ablation_store_buffer(opts.kernels), opts);
+  return sttsim::benchcli::guarded_main(
+      argc, argv, [](const sttsim::benchcli::Options& opts) {
+        return sttsim::benchcli::print_figure(
+            sttsim::experiments::ablation_store_buffer(opts.kernels), opts);
+      });
 }

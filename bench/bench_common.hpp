@@ -2,7 +2,8 @@
 //
 // Usage of every fig binary:
 //   figN [--csv] [--kernels=a,b,c] [--jobs=N] [--batch=K]
-//        [--store=PATH] [--no-store]
+//        [--store=PATH] [--no-store] [--deadline=SECS] [--retries=N]
+//        [--request-priority=P]
 // With no arguments the full 14-kernel suite is run and a fixed-width table
 // (matching the paper figure's bars, plus the AVERAGE bar) is printed.
 // --jobs sets the worker-pool width of the parallel experiment engine
@@ -15,6 +16,14 @@
 // new points are appended. The STTSIM_RESULT_STORE environment variable
 // supplies a default path; --no-store ignores it for one run. Results are
 // byte-identical with or without a store.
+// --deadline=SECS gives each grid a wall-clock budget: points still pending
+// when it expires are reported timed-out instead of run (0 = none, the
+// default). --retries=N retries transient task failures up to N times with
+// exponential backoff. --request-priority=P tags this campaign's tasks for
+// schedulers shared between requests (higher drains first). Every bench
+// installs the graceful SIGINT handler: the first Ctrl-C drains in-flight
+// points (completed ones stay persisted in the store, so a re-run resumes
+// where it left off); a second Ctrl-C kills the process.
 #pragma once
 
 #include <cstdio>
@@ -25,6 +34,7 @@
 #include <vector>
 
 #include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/exec/request.hpp"
 #include "sttsim/exec/result_store.hpp"
 #include "sttsim/report/figure.hpp"
 #include "sttsim/sim/stats.hpp"
@@ -37,6 +47,9 @@ struct Options {
   unsigned jobs = 0;   ///< 0 = hardware_concurrency
   unsigned batch = 1;  ///< config-parallel lanes per grid task; 1 = unbatched
   std::string store;   ///< result-store path; "" = memoization disabled
+  double deadline_s = 0.0;  ///< wall-clock budget per grid; 0 = none
+  unsigned retries = 0;     ///< transient-failure retries per task
+  int priority = 0;         ///< request priority (higher drains first)
 };
 
 /// Opens (creating if needed) the persistent result store at `path` and
@@ -64,6 +77,13 @@ inline Options parse(int argc, char** argv) {
     } else if (arg.rfind("--batch=", 0) == 0) {
       o.batch =
           static_cast<unsigned>(std::strtoul(arg.c_str() + 8, nullptr, 10));
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      o.deadline_s = std::strtod(arg.c_str() + 11, nullptr);
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      o.retries =
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--request-priority=", 0) == 0) {
+      o.priority = static_cast<int>(std::strtol(arg.c_str() + 19, nullptr, 10));
     } else if (arg.rfind("--kernels=", 0) == 0) {
       std::string list = arg.substr(10);
       std::size_t pos = 0;
@@ -77,7 +97,8 @@ inline Options parse(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--csv] [--kernels=a,b,c] [--jobs=N] "
-                   "[--batch=K] [--store=PATH] [--no-store]\n",
+                   "[--batch=K] [--store=PATH] [--no-store] "
+                   "[--deadline=SECS] [--retries=N] [--request-priority=P]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -91,6 +112,12 @@ inline Options parse(int argc, char** argv) {
   if (no_store) o.store.clear();
   exec::set_default_jobs(o.jobs);
   exec::set_default_batch(o.batch);
+  exec::CampaignRequest request;
+  request.priority = o.priority;
+  request.deadline_s = o.deadline_s;
+  request.retry.max_retries = o.retries;
+  exec::set_default_request(request);
+  exec::install_interrupt_handler();
   if (!o.store.empty()) open_result_store(o.store);
   return o;
 }
@@ -100,6 +127,24 @@ inline int print_figure(const report::FigureData& fig, const Options& o) {
                    : report::render(fig).c_str(),
              stdout);
   return 0;
+}
+
+/// Parses flags, runs the bench body, and turns campaign errors into clean
+/// exits instead of std::terminate: an interrupted campaign (first Ctrl-C
+/// drains, completed points are persisted) exits 130 like a shell SIGINT,
+/// any other error — a deterministic task failure, a result-store open
+/// diagnostic — prints and exits 1.
+template <typename Body>
+int guarded_main(int argc, char** argv, Body body) {
+  try {
+    return body(parse(argc, argv));
+  } catch (const exec::TaskError& e) {
+    std::fprintf(stderr, "sttsim: %s\n", e.what());
+    return e.kind() == exec::TaskErrorKind::kCancelled ? 130 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sttsim: %s\n", e.what());
+    return 1;
+  }
 }
 
 }  // namespace sttsim::benchcli

@@ -6,12 +6,14 @@
 #include "sttsim/experiments/figures.hpp"
 
 int main(int argc, char** argv) {
-  const auto opts = sttsim::benchcli::parse(argc, argv);
-  sttsim::benchcli::print_figure(
-      sttsim::experiments::energy_report(opts.kernels), opts);
-  if (!opts.csv) {
-    std::fputs("\n", stdout);
-    std::fputs(sttsim::experiments::area_report().c_str(), stdout);
-  }
-  return 0;
+  return sttsim::benchcli::guarded_main(
+      argc, argv, [](const sttsim::benchcli::Options& opts) {
+        sttsim::benchcli::print_figure(
+            sttsim::experiments::energy_report(opts.kernels), opts);
+        if (!opts.csv) {
+          std::fputs("\n", stdout);
+          std::fputs(sttsim::experiments::area_report().c_str(), stdout);
+        }
+        return 0;
+      });
 }

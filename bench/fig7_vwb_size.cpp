@@ -5,10 +5,12 @@
 #include "sttsim/experiments/figures.hpp"
 
 int main(int argc, char** argv) {
-  const auto opts = sttsim::benchcli::parse(argc, argv);
-  sttsim::benchcli::print_figure(
-      sttsim::experiments::fig7_vwb_size(opts.kernels), opts);
-  if (!opts.csv) std::fputs("\n", stdout);
-  return sttsim::benchcli::print_figure(
-      sttsim::experiments::fig7_vwb_size_optimized(opts.kernels), opts);
+  return sttsim::benchcli::guarded_main(
+      argc, argv, [](const sttsim::benchcli::Options& opts) {
+        sttsim::benchcli::print_figure(
+            sttsim::experiments::fig7_vwb_size(opts.kernels), opts);
+        if (!opts.csv) std::fputs("\n", stdout);
+        return sttsim::benchcli::print_figure(
+            sttsim::experiments::fig7_vwb_size_optimized(opts.kernels), opts);
+      });
 }

@@ -5,13 +5,16 @@
 #include "sttsim/experiments/figures.hpp"
 
 int main(int argc, char** argv) {
-  const auto opts = sttsim::benchcli::parse(argc, argv);
-  sttsim::benchcli::print_figure(
-      sttsim::experiments::fig_reliability_retention(opts.kernels), opts);
-  if (!opts.csv) std::fputs("\n", stdout);
-  sttsim::benchcli::print_figure(
-      sttsim::experiments::fig_reliability_lifetime(opts.kernels), opts);
-  if (!opts.csv) std::fputs("\n", stdout);
-  return sttsim::benchcli::print_figure(
-      sttsim::experiments::fig_reliability_ecc_overhead(opts.kernels), opts);
+  return sttsim::benchcli::guarded_main(
+      argc, argv, [](const sttsim::benchcli::Options& opts) {
+        sttsim::benchcli::print_figure(
+            sttsim::experiments::fig_reliability_retention(opts.kernels), opts);
+        if (!opts.csv) std::fputs("\n", stdout);
+        sttsim::benchcli::print_figure(
+            sttsim::experiments::fig_reliability_lifetime(opts.kernels), opts);
+        if (!opts.csv) std::fputs("\n", stdout);
+        return sttsim::benchcli::print_figure(
+            sttsim::experiments::fig_reliability_ecc_overhead(opts.kernels),
+            opts);
+      });
 }

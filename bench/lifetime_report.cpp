@@ -5,8 +5,10 @@
 #include "sttsim/experiments/figures.hpp"
 
 int main(int argc, char** argv) {
-  const auto opts = sttsim::benchcli::parse(argc, argv);
-  std::fputs(sttsim::experiments::lifetime_report(opts.kernels).c_str(),
-             stdout);
-  return 0;
+  return sttsim::benchcli::guarded_main(
+      argc, argv, [](const sttsim::benchcli::Options& opts) {
+        std::fputs(sttsim::experiments::lifetime_report(opts.kernels).c_str(),
+                   stdout);
+        return 0;
+      });
 }

@@ -194,14 +194,18 @@ std::string run_json(const TimedRun& r) {
       "{\"wall_ms\": %.2f, \"simulations\": %llu, \"sims_per_sec\": %.2f, "
       "\"trace_ops\": %llu, \"trace_ops_per_sec\": %.0f, "
       "\"traces_generated\": %llu, \"memo_hits\": %llu, "
-      "\"memo_misses\": %llu}",
+      "\"memo_misses\": %llu, \"tasks_retried\": %llu, "
+      "\"tasks_timed_out\": %llu, \"tasks_cancelled\": %llu}",
       r.wall_ms, static_cast<unsigned long long>(r.counts.simulations),
       per_sec(r.counts.simulations, r.wall_ms),
       static_cast<unsigned long long>(r.counts.trace_ops),
       per_sec(r.counts.trace_ops, r.wall_ms),
       static_cast<unsigned long long>(r.counts.traces_generated),
       static_cast<unsigned long long>(r.counts.memo_hits),
-      static_cast<unsigned long long>(r.counts.memo_misses));
+      static_cast<unsigned long long>(r.counts.memo_misses),
+      static_cast<unsigned long long>(r.counts.tasks_retried),
+      static_cast<unsigned long long>(r.counts.tasks_timed_out),
+      static_cast<unsigned long long>(r.counts.tasks_cancelled));
 }
 
 }  // namespace

@@ -10,14 +10,36 @@
 //
 // Durability model — crash-safe, never abort:
 //  * every append writes one complete record and flushes it;
-//  * on load, a truncated tail (partial record) is dropped and the file is
-//    truncated back to the last complete record, so future appends stay
+//  * on load (and on refresh), a truncated tail (partial record — a writer
+//    crashed or was killed mid-append) is dropped and the file is truncated
+//    back to the last complete record, so future appends stay
 //    record-aligned;
 //  * a complete record whose checksum does not match its bytes (bit rot,
 //    tampering) is skipped — the key simply misses and is recomputed;
 //  * a header with the wrong magic/schema/payload size invalidates the
 //    whole file: it is re-initialized empty (recompute everything, never
-//    refuse to run).
+//    refuse to run). Paths that cannot work at all — the path is a
+//    directory, its parent is missing or unwritable — throw a
+//    std::runtime_error naming the path and the reason.
+//
+// Multi-process sharing — two concurrent `--store=PATH` campaigns
+// interleave safely:
+//  * every mutation (load, append, refresh) holds an advisory exclusive
+//    flock(2) on the store file, so records from concurrent writer
+//    processes never tear each other;
+//  * append() first scans records other processes appended since the last
+//    scan, so first-write-wins holds across processes exactly as it does
+//    across threads (a digest another campaign already computed is never
+//    overwritten);
+//  * refresh() re-reads records appended by other processes into the
+//    in-memory index (run_grid calls it before probing a grid), and — as
+//    the lock holder — truncates any torn tail a killed writer left
+//    behind;
+//  * stale locks cannot occur: flock locks are owned by the kernel's open
+//    file description and are released automatically when the holding
+//    process exits or dies, so a crashed campaign never blocks the next
+//    one. Recovery from a crashed writer is the torn-tail truncation
+//    above.
 //
 // The store is simulation-agnostic (payloads are opaque fixed-size byte
 // blobs) so the ThreadSanitizer exec test target can exercise it without
@@ -44,8 +66,10 @@ class ResultStore {
 
   /// Opens (creating or loading) the store at `path`. `payload_bytes` is
   /// the fixed record payload size; a file recorded with a different size
-  /// or schema is re-initialized empty. Throws std::runtime_error only if
-  /// the file cannot be opened for writing at all.
+  /// or schema is re-initialized empty. Throws std::runtime_error — with a
+  /// diagnostic naming the path and the failing condition — when the path
+  /// is a directory or cannot be opened read-write (missing or unwritable
+  /// parent directory, permissions).
   ResultStore(std::string path, std::size_t payload_bytes);
   ~ResultStore();
 
@@ -57,27 +81,39 @@ class ResultStore {
 
   /// Number of indexed (valid) records.
   std::size_t entries() const;
-  /// Complete-but-corrupt records skipped during load (checksum mismatch).
+  /// Complete-but-corrupt records skipped so far (checksum mismatch).
   std::size_t dropped_records() const { return dropped_; }
-  /// Bytes of truncated tail discarded during load.
+  /// Bytes of truncated tail discarded so far (load + refresh).
   std::size_t truncated_bytes() const { return truncated_; }
 
   /// Copies the payload for `digest` into `out` (payload_bytes() long).
-  /// Returns false on miss. Thread-safe.
+  /// Returns false on miss. Thread-safe. Probes the in-memory index only —
+  /// call refresh() first to observe other processes' appends.
   bool lookup(std::uint64_t digest, void* out) const;
 
   /// True iff `digest` is present (no copy). Thread-safe.
   bool contains(std::uint64_t digest) const;
 
   /// Appends one record (payload_bytes() long) and indexes it. A digest
-  /// already present is ignored — first write wins, matching the engine's
-  /// deterministic outputs. Thread-safe; each record is written and flushed
-  /// atomically with respect to other appenders.
+  /// already present — including one another process appended since the
+  /// last scan — is ignored: first write wins, across threads and across
+  /// processes. Thread-safe; each record is written and flushed under the
+  /// file lock, atomically with respect to every other appender.
   void append(std::uint64_t digest, const void* payload);
 
+  /// Re-reads records appended by other processes since the last scan into
+  /// the in-memory index, and truncates any torn tail a killed writer left
+  /// (safe: performed under the exclusive file lock, where no writer can
+  /// be mid-append). Returns the number of newly indexed records.
+  /// Thread-safe.
+  std::size_t refresh();
+
  private:
-  void load_or_init();
-  void init_fresh();
+  void load_or_init_locked();
+  void init_header_locked();
+  /// Indexes complete records in [scan_end_, EOF); truncates a torn tail.
+  /// Caller holds mu_ and the exclusive flock.
+  std::size_t scan_new_locked();
 
   std::string path_;
   std::size_t payload_bytes_;
@@ -90,6 +126,7 @@ class ResultStore {
   // the mutex (lookups copy out).
   std::unordered_map<std::uint64_t, std::size_t> index_;
   std::vector<std::uint8_t> arena_;
+  std::size_t scan_end_ = 0;  ///< file offset after the last indexed record
   std::size_t dropped_ = 0;
   std::size_t truncated_ = 0;
 };

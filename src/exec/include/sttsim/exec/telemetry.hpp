@@ -17,11 +17,17 @@ struct TelemetrySnapshot {
                                       ///< persistent result store
   std::uint64_t memo_misses = 0;      ///< grid points simulated because the
                                       ///< store had no (valid) record
+  std::uint64_t tasks_retried = 0;    ///< transient-failure retry attempts
+  std::uint64_t tasks_timed_out = 0;  ///< tasks past their request deadline
+  std::uint64_t tasks_cancelled = 0;  ///< tasks skipped/drained on cancel
 
   TelemetrySnapshot operator-(const TelemetrySnapshot& rhs) const {
     return {simulations - rhs.simulations, trace_ops - rhs.trace_ops,
             traces_generated - rhs.traces_generated,
-            memo_hits - rhs.memo_hits, memo_misses - rhs.memo_misses};
+            memo_hits - rhs.memo_hits, memo_misses - rhs.memo_misses,
+            tasks_retried - rhs.tasks_retried,
+            tasks_timed_out - rhs.tasks_timed_out,
+            tasks_cancelled - rhs.tasks_cancelled};
   }
 };
 
@@ -41,13 +47,25 @@ class Telemetry {
   void count_memo_miss() {
     memo_misses_.fetch_add(1, std::memory_order_relaxed);
   }
+  void count_task_retried() {
+    tasks_retried_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_task_timed_out() {
+    tasks_timed_out_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_task_cancelled() {
+    tasks_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   TelemetrySnapshot snapshot() const {
     return {simulations_.load(std::memory_order_relaxed),
             trace_ops_.load(std::memory_order_relaxed),
             traces_generated_.load(std::memory_order_relaxed),
             memo_hits_.load(std::memory_order_relaxed),
-            memo_misses_.load(std::memory_order_relaxed)};
+            memo_misses_.load(std::memory_order_relaxed),
+            tasks_retried_.load(std::memory_order_relaxed),
+            tasks_timed_out_.load(std::memory_order_relaxed),
+            tasks_cancelled_.load(std::memory_order_relaxed)};
   }
 
   void reset() {
@@ -56,6 +74,9 @@ class Telemetry {
     traces_generated_.store(0, std::memory_order_relaxed);
     memo_hits_.store(0, std::memory_order_relaxed);
     memo_misses_.store(0, std::memory_order_relaxed);
+    tasks_retried_.store(0, std::memory_order_relaxed);
+    tasks_timed_out_.store(0, std::memory_order_relaxed);
+    tasks_cancelled_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -64,6 +85,9 @@ class Telemetry {
   std::atomic<std::uint64_t> traces_generated_{0};
   std::atomic<std::uint64_t> memo_hits_{0};
   std::atomic<std::uint64_t> memo_misses_{0};
+  std::atomic<std::uint64_t> tasks_retried_{0};
+  std::atomic<std::uint64_t> tasks_timed_out_{0};
+  std::atomic<std::uint64_t> tasks_cancelled_{0};
 };
 
 }  // namespace sttsim::exec

@@ -1,11 +1,13 @@
 #include "sttsim/experiments/harness.hpp"
 
 #include <cstdio>
+#include <limits>
 #include <tuple>
 
 #include "sttsim/cpu/batch_replay.hpp"
 #include "sttsim/cpu/trace_io.hpp"
 #include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/exec/request.hpp"
 #include "sttsim/exec/result_store.hpp"
 #include "sttsim/exec/telemetry.hpp"
 #include "sttsim/util/check.hpp"
@@ -123,7 +125,12 @@ std::uint64_t simulation_digest(const cpu::Trace& trace,
 
 double penalty_pct(const sim::RunStats& variant,
                    const sim::RunStats& baseline) {
-  STTSIM_CHECK(baseline.core.total_cycles > 0);
+  // A timed-out or cancelled grid point degrades to all-zero counters
+  // (skip-and-report); its derived metric is "no data", not an invariant
+  // violation. NaN prints as nan and perf_compare ignores it.
+  if (baseline.core.total_cycles == 0 || variant.core.total_cycles == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   const double v = static_cast<double>(variant.core.total_cycles);
   const double b = static_cast<double>(baseline.core.total_cycles);
   return (v - b) / b * 100.0;
@@ -131,7 +138,9 @@ double penalty_pct(const sim::RunStats& variant,
 
 double gain_pct(const sim::RunStats& unoptimized,
                 const sim::RunStats& optimized) {
-  STTSIM_CHECK(unoptimized.core.total_cycles > 0);
+  if (unoptimized.core.total_cycles == 0 || optimized.core.total_cycles == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   const double u = static_cast<double>(unoptimized.core.total_cycles);
   const double o = static_cast<double>(optimized.core.total_cycles);
   return (u - o) / u * 100.0;
@@ -201,20 +210,44 @@ void store_append(exec::ResultStore* store, std::uint64_t digest,
   store->append(digest, payload);
 }
 
-/// Runs `points` as one pool task each (the unbatched PR 5 replay path,
-/// in the given order — j-major for a full grid, matching the historical
-/// serial loops) and scatters results into out[j][k]. Completed misses
-/// append to the store from inside their task, so an interrupted campaign
-/// keeps every point it finished.
+/// Post-request policy shared by the solo and batched paths. Task-level
+/// outcomes degrade gracefully: timed-out and cancelled points are
+/// skipped-and-reported (their result slots keep default RunStats; the
+/// telemetry counters and the grid summary carry the tally). Real failures
+/// keep the historical abort semantics — the lowest-index failed task's
+/// exception is rethrown after every task has drained — and an interrupt
+/// (SIGINT) surfaces as TaskError{kCancelled} once in-flight tasks have
+/// finished and appended their records, so a re-run resumes from the store.
+template <typename T>
+void finish_request(const exec::RequestResult<T>& result) {
+  for (const exec::TaskResult<T>& t : result.tasks) {
+    if (t.outcome.status == exec::TaskStatus::kFailed && t.outcome.exception) {
+      std::rethrow_exception(t.outcome.exception);
+    }
+  }
+  if (result.interrupted) {
+    throw exec::TaskError(
+        exec::TaskErrorKind::kCancelled,
+        "campaign interrupted: completed points are persisted; re-running "
+        "the same grid completes only the missing ones");
+  }
+}
+
+/// Runs `points` as one scheduler task each (the unbatched PR 5 replay
+/// path, in the given order — j-major for a full grid, matching the
+/// historical serial loops) and scatters results into out[j][k]. Completed
+/// misses append to the store from inside their task, so an interrupted
+/// campaign keeps every point it finished.
 void run_points_solo(TraceCache& cache,
                      const std::vector<workloads::Kernel>& kernels,
                      const std::vector<SuiteJob>& jobs,
                      const std::vector<GridPoint>& points,
                      exec::ResultStore* store,
                      std::vector<std::vector<sim::RunStats>>& out) {
-  exec::ParallelExecutor pool;
-  const std::vector<sim::RunStats> flat =
-      pool.map(points.size(), [&](std::size_t i) {
+  exec::RequestScheduler scheduler;
+  const auto result = scheduler.run(
+      exec::default_request(), points.size(),
+      [&](std::size_t i, const exec::CancellationToken&) {
         const GridPoint& p = points[i];
         const SuiteJob& job = jobs[p.j];
         const cpu::DecodedTrace& trace =
@@ -226,8 +259,11 @@ void run_points_solo(TraceCache& cache,
         return stats;
       });
   for (std::size_t i = 0; i < points.size(); ++i) {
-    out[points[i].j][points[i].k] = flat[i];
+    if (result.tasks[i].value) {
+      out[points[i].j][points[i].k] = *result.tasks[i].value;
+    }
   }
+  finish_request(result);
 }
 
 /// The batched grid schedule: `points` grouped by (kernel x codegen) — all
@@ -278,9 +314,10 @@ void run_points_batched(TraceCache& cache,
     }
   }
 
-  exec::ParallelExecutor pool;
-  const std::vector<std::vector<sim::RunStats>> results =
-      pool.map(tasks.size(), [&](std::size_t t) {
+  exec::RequestScheduler scheduler;
+  const auto result = scheduler.run(
+      exec::default_request(), tasks.size(),
+      [&](std::size_t t, const exec::CancellationToken&) {
         const std::vector<std::size_t>& task = tasks[t];
         const GridPoint& first = points[task.front()];
         const CachedWorkload& workload =
@@ -304,11 +341,14 @@ void run_points_batched(TraceCache& cache,
       });
 
   for (std::size_t t = 0; t < tasks.size(); ++t) {
+    if (!result.tasks[t].value) continue;
+    const std::vector<sim::RunStats>& stats = *result.tasks[t].value;
     for (std::size_t i = 0; i < tasks[t].size(); ++i) {
       const GridPoint& p = points[tasks[t][i]];
-      out[p.j][p.k] = results[t][i];
+      out[p.j][p.k] = stats[i];
     }
   }
+  finish_request(result);
 }
 
 }  // namespace
@@ -328,6 +368,13 @@ std::vector<std::vector<sim::RunStats>> run_grid(
   // known results out of the task list eliminates head-of-line blocking on
   // a mostly-warm grid: the pool's whole width goes to the dirty slice.
   exec::ResultStore* store = exec::result_store();
+  if (store != nullptr) {
+    // Pick up records concurrent campaigns (other processes sharing this
+    // store file) appended since our last scan, so their finished points
+    // probe warm here instead of being re-simulated.
+    store->refresh();
+  }
+  const exec::TelemetrySnapshot before = exec::Telemetry::instance().snapshot();
   std::vector<std::vector<sim::RunStats>> out(
       jobs.size(), std::vector<sim::RunStats>(n_kernels));
   std::vector<GridPoint> points;
@@ -359,11 +406,29 @@ std::vector<std::vector<sim::RunStats>> run_grid(
       run_points_solo(cache, kernels, jobs, points, store, out);
     }
   }
+  // Lifecycle tally for this grid (delta over the run). The happy path —
+  // no retries, no deadline, nothing cancelled — prints exactly the
+  // historical line, byte for byte.
+  const exec::TelemetrySnapshot delta =
+      exec::Telemetry::instance().snapshot() - before;
+  char lifecycle[96] = "";
+  if (delta.tasks_retried != 0 || delta.tasks_timed_out != 0 ||
+      delta.tasks_cancelled != 0) {
+    std::snprintf(lifecycle, sizeof lifecycle,
+                  ", %llu retried, %llu timed-out, %llu cancelled",
+                  static_cast<unsigned long long>(delta.tasks_retried),
+                  static_cast<unsigned long long>(delta.tasks_timed_out),
+                  static_cast<unsigned long long>(delta.tasks_cancelled));
+  }
   if (store != nullptr) {
     std::fprintf(
         stderr,
-        "[sttsim] result store %s: %zu/%zu grid points warm, %zu simulated\n",
-        store->path().c_str(), hits, jobs.size() * n_kernels, points.size());
+        "[sttsim] result store %s: %zu/%zu grid points warm, %zu simulated%s\n",
+        store->path().c_str(), hits, jobs.size() * n_kernels, points.size(),
+        lifecycle);
+  } else if (lifecycle[0] != '\0') {
+    std::fprintf(stderr, "[sttsim] grid: %zu points%s\n",
+                 jobs.size() * n_kernels, lifecycle);
   }
   return out;
 }

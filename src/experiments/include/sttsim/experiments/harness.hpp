@@ -18,12 +18,14 @@ namespace sttsim::experiments {
 
 /// Performance penalty of `variant` relative to `baseline`, in percent —
 /// the paper's metric ("SRAM D-cache baseline = 100%"): 0% means equal
-/// runtime, 54% means 1.54x the baseline cycles.
+/// runtime, 54% means 1.54x the baseline cycles. NaN when either side is a
+/// degraded (timed-out/cancelled, all-zero) grid point — "no data", which
+/// prints as nan and perf_compare ignores.
 double penalty_pct(const sim::RunStats& variant,
                    const sim::RunStats& baseline);
 
 /// Performance gain of `optimized` over `unoptimized` on the same system,
-/// in percent (Fig. 9's metric).
+/// in percent (Fig. 9's metric). NaN when either side is degraded.
 double gain_pct(const sim::RunStats& unoptimized,
                 const sim::RunStats& optimized);
 
@@ -143,7 +145,19 @@ struct SuiteJob {
 /// results and a one-parameter edit recomputes only the dirty slice. Each
 /// miss appends its record as its task completes. Warm results decode to
 /// bit-identical RunStats, so figure outputs are byte-identical cold vs
-/// warm at any --jobs/--batch combination.
+/// warm at any --jobs/--batch combination. The store is refreshed before
+/// probing, so records appended by concurrent processes sharing the file
+/// count as hits too.
+///
+/// The whole grid runs as one exec::CampaignRequest through a
+/// RequestScheduler (exec::default_request(); the benches'
+/// --deadline/--retries/--request-priority flags). Deterministic task
+/// failures rethrow the lowest-index exception; timed-out or cancelled
+/// points degrade to default RunStats in place (skip-and-report, never
+/// wedge); an interrupt (SIGINT token) throws TaskError(kCancelled) after
+/// completed points are scattered — and persisted, so re-running the same
+/// grid completes only the missing ones. With the default request and no
+/// faults the lifecycle is invisible: output stays byte-identical.
 std::vector<std::vector<sim::RunStats>> run_grid(
     TraceCache& cache, const std::vector<workloads::Kernel>& kernels,
     const std::vector<SuiteJob>& jobs);

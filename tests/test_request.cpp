@@ -1,0 +1,535 @@
+// Unit tests for the resilient request lifecycle: the error taxonomy,
+// cooperative cancellation tokens, retry backoff determinism, the priority
+// queue, the deadline watchdog, engine fault injection, and the SIGINT
+// drain path.
+//
+// Deliberately includes only sttsim/exec headers: the test_request_tsan
+// target recompiles this file together with the exec sources under
+// ThreadSanitizer, with no dependency on the simulation libraries — every
+// failure path here runs with full happens-before checking.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sttsim/exec/request.hpp"
+#include "sttsim/exec/telemetry.hpp"
+
+namespace sttsim::exec {
+namespace {
+
+/// Clears process-wide lifecycle state between tests: the sticky interrupt
+/// flag, installed faults, and the request defaults.
+class RequestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    interrupt_source().reset();
+    set_task_faults(std::nullopt);
+    set_default_request(CampaignRequest{});
+  }
+  void TearDown() override {
+    interrupt_source().reset();
+    set_task_faults(std::nullopt);
+    set_default_request(CampaignRequest{});
+  }
+};
+
+// ---- Error taxonomy ----------------------------------------------------
+
+TEST_F(RequestTest, TaskErrorCarriesKindAndMessage) {
+  const TaskError e(TaskErrorKind::kTransient, "flaky backend");
+  EXPECT_EQ(e.kind(), TaskErrorKind::kTransient);
+  EXPECT_STREQ(e.what(), "flaky backend");
+  EXPECT_STREQ(to_string(TaskErrorKind::kTransient), "transient");
+  EXPECT_STREQ(to_string(TaskErrorKind::kDeterministic), "deterministic");
+  EXPECT_STREQ(to_string(TaskErrorKind::kCancelled), "cancelled");
+  EXPECT_STREQ(to_string(TaskErrorKind::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(TaskStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(TaskStatus::kTimedOut), "timed-out");
+}
+
+// ---- Cancellation ------------------------------------------------------
+
+TEST_F(RequestTest, DefaultTokenIsNeverCancelled) {
+  const CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.throw_if_cancelled());
+}
+
+TEST_F(RequestTest, SourceTripsItsTokensWithReason) {
+  CancellationSource source;
+  const CancellationToken token = source.token();
+  EXPECT_FALSE(token.cancelled());
+  source.cancel(TaskErrorKind::kTimeout);
+  EXPECT_TRUE(source.cancelled());
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), TaskErrorKind::kTimeout);
+  try {
+    token.throw_if_cancelled();
+    FAIL() << "expected TaskError";
+  } catch (const TaskError& e) {
+    EXPECT_EQ(e.kind(), TaskErrorKind::kTimeout);
+  }
+  source.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST_F(RequestTest, MergedTokenObservesEitherSource) {
+  CancellationSource a;
+  CancellationSource b;
+  const CancellationToken merged = merge_tokens(a.token(), b.token());
+  EXPECT_FALSE(merged.cancelled());
+  b.cancel(TaskErrorKind::kCancelled);
+  EXPECT_TRUE(merged.cancelled());
+  EXPECT_EQ(merged.reason(), TaskErrorKind::kCancelled);
+  b.reset();
+  a.cancel(TaskErrorKind::kTimeout);
+  EXPECT_TRUE(merged.cancelled());
+  EXPECT_EQ(merged.reason(), TaskErrorKind::kTimeout);
+}
+
+TEST_F(RequestTest, InstalledSigintHandlerTripsInterruptSource) {
+  install_interrupt_handler();
+  EXPECT_FALSE(interrupt_source().cancelled());
+  std::raise(SIGINT);
+  EXPECT_TRUE(interrupt_source().cancelled());
+  // SA_RESETHAND restored the default disposition; re-arm for other tests
+  // (and leave the handler installed so a stray SIGINT drains gracefully).
+  install_interrupt_handler();
+  interrupt_source().reset();
+}
+
+// ---- Retry backoff ------------------------------------------------------
+
+TEST_F(RequestTest, BackoffIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 10;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 50;
+  for (std::size_t task = 0; task < 8; ++task) {
+    for (unsigned attempt = 1; attempt <= 6; ++attempt) {
+      const auto a = policy.backoff(task, attempt);
+      const auto b = policy.backoff(task, attempt);
+      EXPECT_EQ(a, b) << "jitter must be a pure function of (seed, task, "
+                         "attempt)";
+      // Envelope: jitter scales [0.5, 1.0] of min(max, base * mult^(n-1)).
+      const double raw =
+          std::min(10.0 * (1 << (attempt - 1)), 50.0);
+      EXPECT_GE(a.count(), static_cast<std::int64_t>(raw * 0.5));
+      EXPECT_LE(a.count(), static_cast<std::int64_t>(raw) + 1);
+    }
+  }
+  // Different tasks (and seeds) jitter differently somewhere in the grid.
+  RetryPolicy reseeded = policy;
+  reseeded.jitter_seed ^= 0xdeadbeef;
+  bool any_differ = false;
+  for (std::size_t task = 0; task < 8 && !any_differ; ++task) {
+    any_differ = policy.backoff(task, 3) != reseeded.backoff(task, 3);
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+// ---- Priority queue -----------------------------------------------------
+
+TEST_F(RequestTest, PriorityQueueDrainsHighPriorityFirstThenFifo) {
+  detail::PriorityTaskQueue queue;
+  std::vector<int> order;
+  queue.push(0, [&] { order.push_back(1); });
+  queue.push(0, [&] { order.push_back(2); });
+  queue.push(5, [&] { order.push_back(3); });
+  queue.push(5, [&] { order.push_back(4); });
+  queue.push(-1, [&] { order.push_back(5); });
+  EXPECT_EQ(queue.pending(), 5u);
+  while (auto body = queue.pop()) body();
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(order, (std::vector<int>{3, 4, 1, 2, 5}));
+  EXPECT_FALSE(queue.pop());  // empty pop is an empty function
+}
+
+// ---- Scheduler: happy path ----------------------------------------------
+
+TEST_F(RequestTest, HappyPathMatchesPlainMapInOrderAndValue) {
+  for (const unsigned jobs : {1u, 4u}) {
+    RequestScheduler scheduler(jobs);
+    const auto result = scheduler.run(
+        CampaignRequest{}, 100,
+        [](std::size_t i, const CancellationToken&) { return i * i; });
+    ASSERT_EQ(result.tasks.size(), 100u);
+    EXPECT_EQ(result.ok, 100u);
+    EXPECT_EQ(result.failed, 0u);
+    EXPECT_EQ(result.timed_out, 0u);
+    EXPECT_EQ(result.cancelled, 0u);
+    EXPECT_EQ(result.retries, 0u);
+    EXPECT_FALSE(result.interrupted);
+    for (std::size_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(result.tasks[i].value.has_value());
+      EXPECT_EQ(*result.tasks[i].value, i * i);
+      EXPECT_EQ(result.tasks[i].outcome.status, TaskStatus::kOk);
+      EXPECT_EQ(result.tasks[i].outcome.attempts, 1u);
+    }
+  }
+}
+
+TEST_F(RequestTest, SerialSchedulerRunsTasksInlineInSubmissionOrder) {
+  RequestScheduler scheduler(1);
+  const auto main_id = std::this_thread::get_id();
+  std::vector<std::size_t> seen;
+  scheduler.run(CampaignRequest{}, 10,
+                [&](std::size_t i, const CancellationToken&) {
+                  EXPECT_EQ(std::this_thread::get_id(), main_id);
+                  seen.push_back(i);
+                  return 0;
+                });
+  ASSERT_EQ(seen.size(), 10u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+// ---- Scheduler: failure taxonomy ---------------------------------------
+
+TEST_F(RequestTest, UnclassifiedExceptionIsDeterministicFailure) {
+  RequestScheduler scheduler(2);
+  const auto result = scheduler.run(
+      CampaignRequest{}, 5, [](std::size_t i, const CancellationToken&) {
+        if (i == 3) throw std::runtime_error("boom");
+        return i;
+      });
+  EXPECT_EQ(result.ok, 4u);
+  EXPECT_EQ(result.failed, 1u);
+  const TaskResult<std::size_t>& bad = result.tasks[3];
+  EXPECT_EQ(bad.outcome.status, TaskStatus::kFailed);
+  EXPECT_EQ(bad.outcome.error_kind, TaskErrorKind::kDeterministic);
+  EXPECT_EQ(bad.outcome.error, "boom");
+  EXPECT_EQ(bad.outcome.attempts, 1u);  // no retry for deterministic
+  ASSERT_TRUE(bad.outcome.exception);
+  EXPECT_THROW(std::rethrow_exception(bad.outcome.exception),
+               std::runtime_error);
+}
+
+TEST_F(RequestTest, TransientFailureRetriesUntilSuccess) {
+  CampaignRequest request;
+  request.retry.max_retries = 3;
+  request.retry.base_delay_ms = 1;
+  request.retry.max_delay_ms = 2;
+  std::atomic<unsigned> calls{0};
+  RequestScheduler scheduler(1);
+  const auto before = Telemetry::instance().snapshot();
+  const auto result = scheduler.run(
+      request, 1, [&](std::size_t, const CancellationToken&) {
+        if (calls.fetch_add(1) < 2) {
+          throw TaskError(TaskErrorKind::kTransient, "flake");
+        }
+        return 7;
+      });
+  const auto delta = Telemetry::instance().snapshot() - before;
+  EXPECT_EQ(result.ok, 1u);
+  EXPECT_EQ(*result.tasks[0].value, 7);
+  EXPECT_EQ(result.tasks[0].outcome.attempts, 3u);
+  EXPECT_EQ(result.retries, 2u);
+  EXPECT_EQ(delta.tasks_retried, 2u);
+}
+
+TEST_F(RequestTest, TransientFailureExhaustsRetriesAndFails) {
+  CampaignRequest request;
+  request.retry.max_retries = 2;
+  request.retry.base_delay_ms = 1;
+  request.retry.max_delay_ms = 1;
+  RequestScheduler scheduler(1);
+  const auto result = scheduler.run(
+      request, 1, [&](std::size_t, const CancellationToken&) -> int {
+        throw TaskError(TaskErrorKind::kTransient, "always flaky");
+      });
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_EQ(result.tasks[0].outcome.status, TaskStatus::kFailed);
+  EXPECT_EQ(result.tasks[0].outcome.error_kind, TaskErrorKind::kTransient);
+  EXPECT_EQ(result.tasks[0].outcome.attempts, 3u);  // 1 + 2 retries
+  EXPECT_EQ(result.retries, 2u);
+}
+
+TEST_F(RequestTest, ZeroRetryPolicyFailsTransientImmediately) {
+  RequestScheduler scheduler(1);
+  const auto result = scheduler.run(
+      CampaignRequest{}, 1, [&](std::size_t, const CancellationToken&) -> int {
+        throw TaskError(TaskErrorKind::kTransient, "flake");
+      });
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_EQ(result.tasks[0].outcome.attempts, 1u);
+  EXPECT_EQ(result.retries, 0u);
+}
+
+// ---- Scheduler: deadline ------------------------------------------------
+
+TEST_F(RequestTest, DeadlineTimesOutStalledTaskWithoutWedging) {
+  CampaignRequest request;
+  request.deadline_s = 0.05;
+  RequestScheduler scheduler(2);
+  const auto before = Telemetry::instance().snapshot();
+  const auto result = scheduler.run(
+      request, 3, [&](std::size_t i, const CancellationToken& token) {
+        if (i == 1) {
+          // A hung backend call: never returns until cancelled.
+          while (true) {
+            token.throw_if_cancelled();
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+        return i;
+      });
+  const auto delta = Telemetry::instance().snapshot() - before;
+  EXPECT_EQ(result.tasks[1].outcome.status, TaskStatus::kTimedOut);
+  EXPECT_EQ(result.tasks[1].outcome.error_kind, TaskErrorKind::kTimeout);
+  EXPECT_FALSE(result.tasks[1].value.has_value());
+  EXPECT_GE(delta.tasks_timed_out, 1u);
+  // The quick tasks completed; the request as a whole never wedged.
+  EXPECT_EQ(result.tasks[0].outcome.status, TaskStatus::kOk);
+  EXPECT_EQ(result.tasks[2].outcome.status, TaskStatus::kOk);
+}
+
+TEST_F(RequestTest, ExpiredDeadlineSkipsQueuedTasksInline) {
+  // jobs == 1 runs inline: no watchdog race, the pre-attempt gate alone
+  // must mark tasks overdue once the deadline has passed.
+  CampaignRequest request;
+  request.deadline_s = 0.02;
+  RequestScheduler scheduler(1);
+  const auto result = scheduler.run(
+      request, 4, [&](std::size_t i, const CancellationToken&) {
+        if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        return i;
+      });
+  EXPECT_EQ(result.tasks[0].outcome.status, TaskStatus::kOk);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(result.tasks[i].outcome.status, TaskStatus::kTimedOut)
+        << "task " << i << " started after the deadline";
+    EXPECT_FALSE(result.tasks[i].value.has_value());
+  }
+  EXPECT_EQ(result.timed_out, 3u);
+}
+
+// ---- Scheduler: cancellation and interrupt ------------------------------
+
+TEST_F(RequestTest, InterruptSkipsRemainingTasksAndReportsInterrupted) {
+  RequestScheduler scheduler(1);
+  const auto before = Telemetry::instance().snapshot();
+  const auto result = scheduler.run(
+      CampaignRequest{}, 5, [&](std::size_t i, const CancellationToken&) {
+        if (i == 1) interrupt_source().cancel(TaskErrorKind::kCancelled);
+        return i;
+      });
+  const auto delta = Telemetry::instance().snapshot() - before;
+  EXPECT_TRUE(result.interrupted);
+  // Tasks 0 and 1 completed (the interrupt landed while 1 was running and
+  // is honored at the next pre-attempt gate); 2..4 were skipped.
+  EXPECT_EQ(result.ok, 2u);
+  EXPECT_EQ(result.cancelled, 3u);
+  EXPECT_EQ(delta.tasks_cancelled, 3u);
+  for (std::size_t i = 2; i < 5; ++i) {
+    EXPECT_EQ(result.tasks[i].outcome.status, TaskStatus::kCancelled);
+    EXPECT_FALSE(result.tasks[i].value.has_value());
+  }
+}
+
+TEST_F(RequestTest, TaskThrowingCancelledIsReportedCancelled) {
+  RequestScheduler scheduler(1);
+  const auto result = scheduler.run(
+      CampaignRequest{}, 1, [&](std::size_t, const CancellationToken&) -> int {
+        throw TaskError(TaskErrorKind::kCancelled, "gave up");
+      });
+  EXPECT_EQ(result.cancelled, 1u);
+  EXPECT_EQ(result.tasks[0].outcome.status, TaskStatus::kCancelled);
+  EXPECT_FALSE(result.tasks[0].outcome.exception);
+}
+
+// ---- Engine fault injection --------------------------------------------
+
+TEST_F(RequestTest, FaultDecisionsAreDeterministicPerTask) {
+  TaskFaults faults;
+  faults.seed = 42;
+  faults.transient_ppm = 500000;  // ~half the tasks
+  unsigned hits = 0;
+  for (std::size_t t = 0; t < 1000; ++t) {
+    const bool a = faults.throws_transient(t);
+    EXPECT_EQ(a, faults.throws_transient(t));
+    hits += a ? 1 : 0;
+  }
+  EXPECT_GT(hits, 300u);
+  EXPECT_LT(hits, 700u);
+  // Salts decorrelate the hook kinds under one seed.
+  bool differ = false;
+  for (std::size_t t = 0; t < 100 && !differ; ++t) {
+    differ = faults.throws_transient(t) != faults.stalls(t);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST_F(RequestTest, InjectedTransientFaultsRetryToByteIdenticalResults) {
+  // A faulty run with retries must produce exactly the fault-free values.
+  RequestScheduler scheduler(2);
+  const auto clean = scheduler.run(
+      CampaignRequest{}, 64,
+      [](std::size_t i, const CancellationToken&) { return i * 31 + 7; });
+
+  TaskFaults faults;
+  faults.seed = 7;
+  faults.transient_ppm = 400000;
+  faults.transient_failures = 2;
+  set_task_faults(faults);
+  CampaignRequest request;
+  request.retry.max_retries = 2;
+  request.retry.base_delay_ms = 1;
+  request.retry.max_delay_ms = 1;
+  const auto faulty = scheduler.run(
+      request, 64,
+      [](std::size_t i, const CancellationToken&) { return i * 31 + 7; });
+
+  EXPECT_EQ(faulty.ok, 64u);
+  EXPECT_GT(faulty.retries, 0u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(faulty.tasks[i].value.has_value());
+    EXPECT_EQ(*faulty.tasks[i].value, *clean.tasks[i].value);
+  }
+}
+
+TEST_F(RequestTest, InjectedStallIsTimedOutNotWedged) {
+  TaskFaults faults;
+  faults.seed = 3;
+  faults.stall_ppm = 1000000;  // every task stalls
+  set_task_faults(faults);
+  CampaignRequest request;
+  request.deadline_s = 0.05;
+  RequestScheduler scheduler(2);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = scheduler.run(
+      request, 2, [](std::size_t i, const CancellationToken&) { return i; });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(result.timed_out, 2u);
+  for (const auto& t : result.tasks) {
+    EXPECT_EQ(t.outcome.status, TaskStatus::kTimedOut);
+  }
+  // Degraded, not wedged: well under a second for a 50 ms deadline.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+}
+
+TEST_F(RequestTest, InjectedSlowdownStillSucceeds) {
+  TaskFaults faults;
+  faults.seed = 9;
+  faults.slow_ppm = 1000000;
+  faults.slow_ms = 5;
+  set_task_faults(faults);
+  RequestScheduler scheduler(1);
+  const auto result = scheduler.run(
+      CampaignRequest{}, 3,
+      [](std::size_t i, const CancellationToken&) { return i + 1; });
+  EXPECT_EQ(result.ok, 3u);
+}
+
+TEST_F(RequestTest, InjectedDeterministicFaultFailsWithoutRetry) {
+  TaskFaults faults;
+  faults.seed = 11;
+  faults.deterministic_ppm = 1000000;
+  set_task_faults(faults);
+  CampaignRequest request;
+  request.retry.max_retries = 5;
+  RequestScheduler scheduler(1);
+  const auto result = scheduler.run(
+      request, 2, [](std::size_t i, const CancellationToken&) { return i; });
+  EXPECT_EQ(result.failed, 2u);
+  EXPECT_EQ(result.retries, 0u);
+  for (const auto& t : result.tasks) {
+    EXPECT_EQ(t.outcome.error_kind, TaskErrorKind::kDeterministic);
+    EXPECT_EQ(t.outcome.attempts, 1u);
+  }
+}
+
+TEST_F(RequestTest, InterruptAfterTasksTripsTheInterruptSource) {
+  TaskFaults faults;
+  faults.interrupt_after_tasks = 2;
+  set_task_faults(faults);
+  RequestScheduler scheduler(1);
+  const auto result = scheduler.run(
+      CampaignRequest{}, 6,
+      [](std::size_t i, const CancellationToken&) { return i; });
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_EQ(result.ok, 2u);
+  EXPECT_EQ(result.cancelled, 4u);
+}
+
+// ---- Defaults -----------------------------------------------------------
+
+TEST_F(RequestTest, DefaultRequestRoundTrips) {
+  CampaignRequest request;
+  request.name = "night-shift";
+  request.priority = 3;
+  request.deadline_s = 12.5;
+  request.retry.max_retries = 4;
+  set_default_request(request);
+  const CampaignRequest got = default_request();
+  EXPECT_EQ(got.name, "night-shift");
+  EXPECT_EQ(got.priority, 3);
+  EXPECT_DOUBLE_EQ(got.deadline_s, 12.5);
+  EXPECT_EQ(got.retry.max_retries, 4u);
+}
+
+TEST_F(RequestTest, TaskFaultsRoundTripAndClear) {
+  TaskFaults faults;
+  faults.seed = 123;
+  faults.stall_ppm = 10;
+  set_task_faults(faults);
+  const auto got = task_faults();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->seed, 123u);
+  EXPECT_EQ(got->stall_ppm, 10u);
+  set_task_faults(std::nullopt);
+  EXPECT_FALSE(task_faults().has_value());
+}
+
+// ---- Concurrency stress (the TSan target's main course) -----------------
+
+TEST_F(RequestTest, ConcurrentRequestsShareOneSchedulerSafely) {
+  RequestScheduler scheduler(4);
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      CampaignRequest request;
+      request.priority = t;
+      const auto result = scheduler.run(
+          request, 40, [&](std::size_t, const CancellationToken&) {
+            total.fetch_add(1, std::memory_order_relaxed);
+            return 0;
+          });
+      EXPECT_EQ(result.ok, 40u);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(total.load(), 120u);
+}
+
+TEST_F(RequestTest, WatchdogAndWorkersRaceCleanly) {
+  // Deadline chosen to land mid-run: some tasks finish, some time out;
+  // under TSan this exercises watchdog vs. worker vs. caller ordering.
+  CampaignRequest request;
+  request.deadline_s = 0.01;
+  RequestScheduler scheduler(4);
+  const auto result = scheduler.run(
+      request, 50, [](std::size_t i, const CancellationToken& token) {
+        for (int spin = 0; spin < 40; ++spin) {
+          if (token.cancelled()) token.throw_if_cancelled();
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        return i;
+      });
+  EXPECT_EQ(result.ok + result.timed_out + result.cancelled, 50u);
+  EXPECT_FALSE(result.tasks.empty());
+}
+
+}  // namespace
+}  // namespace sttsim::exec

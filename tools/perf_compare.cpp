@@ -26,6 +26,7 @@
 // section simply contributes no store metrics). The parser is deliberately
 // minimal — it understands exactly the flat key layout perf_smoke emits,
 // keeping the tool dependency-free.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -218,9 +219,21 @@ int main(int argc, char** argv) {
   std::vector<Section> sections;
   unsigned compared = 0;
   unsigned regressed = 0;
+  unsigned ignored = 0;
   for (const Metric& b : baseline) {
     const Metric* c = find(current, b.name);
-    if (c == nullptr || b.value <= 0.0) continue;
+    if (c == nullptr) continue;
+    // A zero or NaN throughput (a figure that ran 0 simulations, a clock
+    // that returned garbage) carries no signal either way: dividing by it
+    // would turn a bookkeeping glitch into a fake regression or — worse —
+    // a fake infinite improvement. Report it as n/a and move on.
+    if (!std::isfinite(b.value) || b.value <= 0.0 ||
+        !std::isfinite(c->value) || c->value <= 0.0) {
+      std::printf("%-34s %12.3g -> %12.3g ops/s     n/a  [ignored]\n",
+                  b.name.c_str(), b.value, c->value);
+      ignored += 1;
+      continue;
+    }
     compared += 1;
     const double ratio = c->value / b.value;
     const bool bad = ratio < 1.0 - tolerance;
@@ -241,11 +254,17 @@ int main(int argc, char** argv) {
     s->ratio_sum += ratio;
     if (ratio < s->worst) s->worst = ratio;
   }
-  if (compared == 0) {
+  if (compared == 0 && ignored == 0) {
     std::fprintf(stderr,
                  "perf_compare: no common metrics between %s and %s\n",
                  baseline_path, current_path);
     return 2;
+  }
+  if (compared == 0) {
+    std::printf("0 metric(s) compared, %u ignored (zero/NaN) — nothing to "
+                "judge, not a regression\n",
+                ignored);
+    return 0;
   }
   for (const Section& s : sections) {
     std::printf("section %-8s %u metric(s), mean %+6.1f%%, worst %+6.1f%%\n",
@@ -253,7 +272,13 @@ int main(int argc, char** argv) {
                 (s.ratio_sum / s.compared - 1.0) * 100.0,
                 (s.worst - 1.0) * 100.0);
   }
-  std::printf("%u metric(s) compared, %u regression(s) beyond %.0f%%\n",
-              compared, regressed, tolerance * 100.0);
+  if (ignored > 0) {
+    std::printf("%u metric(s) compared (%u ignored: zero/NaN), "
+                "%u regression(s) beyond %.0f%%\n",
+                compared, ignored, regressed, tolerance * 100.0);
+  } else {
+    std::printf("%u metric(s) compared, %u regression(s) beyond %.0f%%\n",
+                compared, regressed, tolerance * 100.0);
+  }
   return regressed == 0 ? 0 : 1;
 }

@@ -20,6 +20,9 @@
 //          --store=PATH (persistent result store: repeated identical runs
 //          read back their stats instead of re-simulating; --no-store
 //          ignores the STTSIM_RESULT_STORE environment default)
+//          --deadline=SECS --retries=N --request-priority=P (request
+//          lifecycle defaults for any engine-driven work: wall-clock
+//          budget, transient-failure retries, campaign priority)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +36,7 @@
 #include "sttsim/cpu/system.hpp"
 #include "sttsim/cpu/trace_io.hpp"
 #include "sttsim/exec/parallel_executor.hpp"
+#include "sttsim/exec/request.hpp"
 #include "sttsim/exec/result_store.hpp"
 #include "sttsim/exec/telemetry.hpp"
 #include "sttsim/experiments/harness.hpp"
@@ -73,7 +77,9 @@ struct CliOptions {
       "          [--faults=SEED[:PPM[:DOUBLEPCT]]] [--ecc=CORR[:REFILL]]\n"
       "          [--baseline-penalty] [--check-oracle] [--jobs=N] "
       "[--batch=K]\n"
-      "          [--store=PATH] [--no-store] [--csv|--json]\n"
+      "          [--store=PATH] [--no-store] [--deadline=SECS] "
+      "[--retries=N]\n"
+      "          [--request-priority=P] [--csv|--json]\n"
       "(a comma-separated --org list runs all of them in one batched\n"
       " replay pass per organization class and reports them side by side;\n"
       " --faults enables deterministic retention-fault injection on NVM\n"
@@ -157,6 +163,7 @@ std::vector<std::string> split_fields(const std::string& s) {
 CliOptions parse_args(int argc, char** argv) {
   CliOptions o;
   bool no_store = false;
+  exec::CampaignRequest request;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string val;
@@ -226,6 +233,12 @@ CliOptions parse_args(int argc, char** argv) {
       exec::set_default_jobs(static_cast<unsigned>(std::stoul(val)));
     } else if (take("--batch=")) {
       exec::set_default_batch(static_cast<unsigned>(std::stoul(val)));
+    } else if (take("--deadline=")) {
+      request.deadline_s = std::stod(val);
+    } else if (take("--retries=")) {
+      request.retry.max_retries = static_cast<unsigned>(std::stoul(val));
+    } else if (take("--request-priority=")) {
+      request.priority = std::stoi(val);
     } else if (take("--store=")) {
       o.store = val;
     } else if (arg == "--no-store") {
@@ -241,6 +254,8 @@ CliOptions parse_args(int argc, char** argv) {
     }
   }
   if (no_store) o.store.clear();
+  exec::set_default_request(request);
+  exec::install_interrupt_handler();
   return o;
 }
 
