@@ -27,9 +27,11 @@
 
 #include "sttsim/cpu/batch_replay.hpp"
 #include "sttsim/cpu/system.hpp"
+#include "sttsim/cpu/trace_io.hpp"
 #include "sttsim/exec/parallel_executor.hpp"
 #include "sttsim/exec/result_store.hpp"
 #include "sttsim/exec/telemetry.hpp"
+#include "sttsim/exec/trace_store.hpp"
 #include "sttsim/experiments/figures.hpp"
 #include "sttsim/report/figure.hpp"
 #include "sttsim/sim/stats.hpp"
@@ -69,6 +71,29 @@ TimedRun time_figure(const FigureCase& fc,
 
 double per_sec(std::uint64_t count, double wall_ms) {
   return wall_ms <= 0.0 ? 0.0 : static_cast<double>(count) / (wall_ms / 1e3);
+}
+
+/// Timing for a pass that is idempotent and fully warm (store hits only):
+/// one pass takes tens of microseconds, so a single shot is at the mercy of
+/// one page fault or scheduler hiccup. Each rep times `iters` back-to-back
+/// passes in one region — long enough that a preemption is a fraction of
+/// the window, not a multiple of it — and the best rep's per-pass average
+/// is the stable number. Counts and CSV come from an initial single pass.
+TimedRun time_figure_batched(const FigureCase& fc,
+                             const experiments::KernelFilter& kernels,
+                             unsigned jobs, int iters, int reps) {
+  TimedRun r = time_figure(fc, kernels, jobs);
+  double best_ms = r.wall_ms * iters;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) (void)fc.make(kernels);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best_ms) best_ms = ms;
+  }
+  r.wall_ms = best_ms / iters;
+  return r;
 }
 
 // ---- Replay microbenchmark -------------------------------------------
@@ -190,10 +215,15 @@ BatchReplayResult bench_batch_replay(cpu::Dl1Organization org,
 }
 
 std::string run_json(const TimedRun& r) {
+  // The phase split (generate / decode / replay, summed across worker
+  // threads — it can exceed wall_ms on a pool) separates trace synthesis
+  // cost from store-decode cost from replay cost, so the trajectory file
+  // shows where a cold or warm campaign actually spends its time.
   return strprintf(
       "{\"wall_ms\": %.2f, \"simulations\": %llu, \"sims_per_sec\": %.2f, "
       "\"trace_ops\": %llu, \"trace_ops_per_sec\": %.0f, "
-      "\"traces_generated\": %llu, \"memo_hits\": %llu, "
+      "\"traces_generated\": %llu, \"generate_ms\": %.2f, "
+      "\"decode_ms\": %.2f, \"replay_ms\": %.2f, \"memo_hits\": %llu, "
       "\"memo_misses\": %llu, \"tasks_retried\": %llu, "
       "\"tasks_timed_out\": %llu, \"tasks_cancelled\": %llu}",
       r.wall_ms, static_cast<unsigned long long>(r.counts.simulations),
@@ -201,6 +231,9 @@ std::string run_json(const TimedRun& r) {
       static_cast<unsigned long long>(r.counts.trace_ops),
       per_sec(r.counts.trace_ops, r.wall_ms),
       static_cast<unsigned long long>(r.counts.traces_generated),
+      static_cast<double>(r.counts.generate_ns) / 1e6,
+      static_cast<double>(r.counts.decode_ns) / 1e6,
+      static_cast<double>(r.counts.replay_ns) / 1e6,
       static_cast<unsigned long long>(r.counts.memo_hits),
       static_cast<unsigned long long>(r.counts.memo_misses),
       static_cast<unsigned long long>(r.counts.tasks_retried),
@@ -416,7 +449,7 @@ int main(int argc, char** argv) {
     store =
         std::make_unique<exec::ResultStore>(store_path, sim::kRunStatsBytes);
     exec::set_result_store(store.get());
-    const TimedRun warm = time_figure(store_case, kernels, sj);
+    const TimedRun warm = time_figure_batched(store_case, kernels, sj, 20, 3);
     exec::set_result_store(nullptr);
     store.reset();
     const bool identical = cold.csv == warm.csv;
@@ -444,6 +477,49 @@ int main(int argc, char** argv) {
       store_identical ? "true" : "false");
   all_identical = all_identical && store_identical;
 
+  // ---- Trace-store cold/warm section ---------------------------------
+  // One figure regenerated three ways: with trace persistence disabled
+  // (the reference), cold against a fresh on-disk trace store (synthesizes
+  // and appends every trace), and warm with the store reopened from disk —
+  // the warm pass must deserialize every trace (traces_generated == 0) and
+  // emit byte-identical FigureData in all three modes.
+  const std::string tstore_path = out_path + ".traces.tmp";
+  const FigureCase& tstore_case = cases.front();
+  std::remove(tstore_path.c_str());
+  const TimedRun tdisabled = time_figure(tstore_case, kernels, jobs);
+  auto tstore = std::make_unique<exec::TraceStore>(tstore_path,
+                                                   cpu::kTraceFormatVersion);
+  exec::set_trace_store(tstore.get());
+  const TimedRun tcold = time_figure(tstore_case, kernels, jobs);
+  // Reopen: the warm run must be served from the bytes on disk.
+  exec::set_trace_store(nullptr);
+  tstore =
+      std::make_unique<exec::TraceStore>(tstore_path, cpu::kTraceFormatVersion);
+  exec::set_trace_store(tstore.get());
+  const TimedRun twarm = time_figure(tstore_case, kernels, jobs);
+  exec::set_trace_store(nullptr);
+  tstore.reset();
+  std::remove(tstore_path.c_str());
+  const bool tstore_identical =
+      tdisabled.csv == tcold.csv && tcold.csv == twarm.csv;
+  const bool tstore_zero_gen = twarm.counts.traces_generated == 0;
+  all_identical = all_identical && tstore_identical && tstore_zero_gen;
+  const std::string tstore_json = strprintf(
+      "{\n    \"figure\": \"%s\",\n    \"disabled\": %s,\n"
+      "    \"cold\": %s,\n    \"warm\": %s,\n"
+      "    \"warm_traces_generated\": %llu, \"identical_output\": %s\n  }",
+      tstore_case.name, run_json(tdisabled).c_str(), run_json(tcold).c_str(),
+      run_json(twarm).c_str(),
+      static_cast<unsigned long long>(twarm.counts.traces_generated),
+      tstore_identical ? "true" : "false");
+  std::printf("traces %-14s off %8.1f ms | cold %8.1f ms | warm %8.1f ms | "
+              "%llu generated warm%s%s\n",
+              tstore_case.name, tdisabled.wall_ms, tcold.wall_ms,
+              twarm.wall_ms,
+              static_cast<unsigned long long>(twarm.counts.traces_generated),
+              tstore_identical ? "" : "  [OUTPUT MISMATCH]",
+              tstore_zero_gen ? "" : "  [WARM REGENERATED]");
+
   const double total_speedup =
       parallel_total_ms <= 0.0 ? 0.0 : serial_total_ms / parallel_total_ms;
   const std::string json = strprintf(
@@ -452,11 +528,13 @@ int main(int argc, char** argv) {
       "  \"replay\": %s,\n"
       "  \"batch\": %s,\n"
       "  \"store\": %s,\n"
+      "  \"trace_store\": %s,\n"
       "  \"total\": {\"serial_wall_ms\": %.2f, \"parallel_wall_ms\": %.2f, "
       "\"speedup\": %.2f, \"identical_output\": %s}\n}\n",
       exec::hardware_jobs(), jobs, entries.c_str(), replay_json.c_str(),
-      batch_json.c_str(), store_json.c_str(), serial_total_ms,
-      parallel_total_ms, total_speedup, all_identical ? "true" : "false");
+      batch_json.c_str(), store_json.c_str(), tstore_json.c_str(),
+      serial_total_ms, parallel_total_ms, total_speedup,
+      all_identical ? "true" : "false");
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {

@@ -123,4 +123,56 @@ DecodedTrace decompress(const CompressedTrace& trace) {
   return out;
 }
 
+namespace {
+
+void put_u64le(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint64_t get_u64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_compressed(const CompressedTrace& trace) {
+  std::vector<std::uint8_t> out(24 + trace.bytes.size() +
+                                8 * trace.store_values.size());
+  put_u64le(out.data(), trace.op_count);
+  put_u64le(out.data() + 8, trace.bytes.size());
+  put_u64le(out.data() + 16, trace.store_values.size());
+  if (!trace.bytes.empty()) {
+    std::memcpy(out.data() + 24, trace.bytes.data(), trace.bytes.size());
+  }
+  std::uint8_t* p = out.data() + 24 + trace.bytes.size();
+  for (const std::uint64_t v : trace.store_values) {
+    put_u64le(p, v);
+    p += 8;
+  }
+  return out;
+}
+
+bool deserialize_compressed(const std::uint8_t* data, std::size_t len,
+                            CompressedTrace& out) {
+  if (len < 24) return false;
+  const std::uint64_t op_count = get_u64le(data);
+  const std::uint64_t stream_bytes = get_u64le(data + 8);
+  const std::uint64_t n_values = get_u64le(data + 16);
+  // Reject blobs whose recorded lengths disagree with the byte count before
+  // touching the payload (a corrupt length must not drive an allocation).
+  if (stream_bytes > len || n_values > len / 8 ||
+      24 + stream_bytes + 8 * n_values != len) {
+    return false;
+  }
+  out.op_count = op_count;
+  out.bytes.assign(data + 24, data + 24 + stream_bytes);
+  out.store_values.resize(static_cast<std::size_t>(n_values));
+  const std::uint8_t* p = data + 24 + stream_bytes;
+  for (std::uint64_t i = 0; i < n_values; ++i, p += 8) {
+    out.store_values[static_cast<std::size_t>(i)] = get_u64le(p);
+  }
+  return true;
+}
+
 }  // namespace sttsim::cpu

@@ -25,11 +25,13 @@
 //    structure-of-arrays form.
 //
 // Inside each lane the tag compares (SetAssocCache's widened branchless way
-// compare, the VWB's mask-based base scan) are plain uint64 array compares
-// the compiler vectorizes (STTSIM_VEC_LOOP) — no intrinsics, correctness
-// never depends on autovectorization. Under either schedule lane i executes
-// exactly the call sequence a solo replay_decoded would issue, so results
-// are bit-identical to K independent runs (tests/test_batch_replay holds
+// compare) and the op-major lane clock advances go through the explicit
+// lane-vector wrapper (util/simd.hpp: AVX2/SSE2/NEON, STTSIM_VEC_LOOP
+// scalar fallback) — exact integer operations, so every backend is
+// bit-identical to the scalar loop and correctness never depends on the
+// autovectorizer. Under either schedule lane i executes exactly the call
+// sequence a solo replay_decoded would issue, so results are bit-identical
+// to K independent runs (tests/test_batch_replay and tests/test_simd hold
 // this across all organizations, batch widths, and both trace forms).
 #pragma once
 
@@ -41,6 +43,7 @@
 #include "sttsim/cpu/replay.hpp"
 #include "sttsim/sim/stats.hpp"
 #include "sttsim/util/check.hpp"
+#include "sttsim/util/simd.hpp"
 
 namespace sttsim::cpu {
 
@@ -98,8 +101,10 @@ std::vector<sim::RunStats> replay_batch_fixed(Source src,
       case OpKind::kExec: {
         instructions += op.count;
         exec_cycles += op.count;
-        const sim::Cycle c = op.count;
-        for (unsigned i = 0; i < K; ++i) now[i] += c;
+        // Explicit-SIMD lane advance (util/simd.hpp): all K clocks move by
+        // the bundle's cycle count in one vector add, bit-identical to the
+        // scalar per-lane loop.
+        util::simd::add_u64(now.data(), K, op.count);
         break;
       }
       case OpKind::kLoad: {
@@ -154,10 +159,10 @@ std::vector<sim::RunStats> replay_batch_fixed(Source src,
       case OpKind::kPrefetch: {
         instructions += 1;
         exec_cycles += 1;
-        for (unsigned i = 0; i < K; ++i) {
-          ls[i]->prefetch(op.addr, now[i]);
-          now[i] += 1;
-        }
+        // Each lane observes its pre-advance clock (solo call sequence),
+        // then all K clocks advance in one vector add.
+        for (unsigned i = 0; i < K; ++i) ls[i]->prefetch(op.addr, now[i]);
+        util::simd::add_u64(now.data(), K, 1);
         break;
       }
     }

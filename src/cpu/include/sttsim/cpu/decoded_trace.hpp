@@ -75,6 +75,44 @@ DecodedTrace decode(const Trace& trace);
 /// fast-path tests round-trip through this).
 Trace reassemble(const DecodedTrace& decoded);
 
+/// Direct-to-decoded synthesis sink: workload generators append packed
+/// 16-byte DecodedOps — granule spans precomputed at emission with the same
+/// span_of the decode pass uses — so the cold path never materializes a raw
+/// TraceOp vector or runs a separate decode() pass. The ops produced are
+/// byte-identical to decode(reassemble(·)) on the same emission sequence
+/// (tests/test_simd pins this for every suite kernel × codegen).
+class DecodedTraceBuilder {
+ public:
+  /// One bundle of `count` back-to-back non-memory instructions (count > 0).
+  void exec(std::uint32_t count) {
+    out_.ops.push_back(DecodedOp{0, count, OpKind::kExec, 0, 1, 1});
+  }
+  void load(Addr addr, std::uint8_t size) {
+    out_.ops.push_back(DecodedOp{addr, 1, OpKind::kLoad, size,
+                                 span_of(addr, size, 5),
+                                 span_of(addr, size, 6)});
+  }
+  void store(Addr addr, std::uint8_t size, std::uint64_t value = 0) {
+    out_.ops.push_back(DecodedOp{addr, 1, OpKind::kStore, size,
+                                 span_of(addr, size, 5),
+                                 span_of(addr, size, 6)});
+    out_.store_values.push_back(value);
+  }
+  /// Prefetch hints carry no size; spans stay 1/1 exactly as decode() leaves
+  /// non-memory ops.
+  void prefetch(Addr addr) {
+    out_.ops.push_back(DecodedOp{addr, 1, OpKind::kPrefetch, 0, 1, 1});
+  }
+
+  std::size_t size() const { return out_.ops.size(); }
+
+  /// Finishes emission and yields the decoded trace.
+  DecodedTrace take() { return std::move(out_); }
+
+ private:
+  DecodedTrace out_;
+};
+
 // ---- Compressed decoded traces ---------------------------------------
 //
 // A decoded op is 16 bytes; a figure-sweep kernel trace is a few hundred
@@ -211,5 +249,24 @@ CompressedTrace compress(const DecodedTrace& decoded);
 
 /// Rebuilds the full decoded form (exact inverse of compress()).
 DecodedTrace decompress(const CompressedTrace& trace);
+
+// ---- Compressed-trace blob (de)serialization -------------------------
+//
+// The persistent trace store (exec::TraceStore) holds CompressedTrace
+// payloads as opaque byte blobs; these two functions define the blob layout
+// (all fields little-endian):
+//   [op_count u64][stream_bytes u64][store_values u64][stream...][values...]
+// The layout changes whenever the compressed-stream format does, which is
+// exactly what kTraceFormatVersion tracks — the store key folds it in, so a
+// format bump makes every old blob unreachable rather than misread.
+
+/// Serializes `trace` into a self-contained byte blob.
+std::vector<std::uint8_t> serialize_compressed(const CompressedTrace& trace);
+
+/// Parses a blob produced by serialize_compressed. Returns false (leaving
+/// `out` unspecified) when the blob is malformed — truncated, inconsistent
+/// lengths — so a corrupt store record degrades to a cache miss.
+bool deserialize_compressed(const std::uint8_t* data, std::size_t len,
+                            CompressedTrace& out);
 
 }  // namespace sttsim::cpu

@@ -1,0 +1,125 @@
+#include "sttsim/exec/append_log.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "sttsim/util/hash.hpp"
+
+namespace sttsim::exec {
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+FileLock::FileLock(std::FILE* file) : fd_(fileno(file)) {
+  while (flock(fd_, LOCK_EX) != 0 && errno == EINTR) {}
+}
+
+FileLock::~FileLock() { flock(fd_, LOCK_UN); }
+
+AppendLog::AppendLog(std::string path, std::string what, std::uint64_t magic,
+                     std::uint32_t version, std::uint32_t aux)
+    : path_(std::move(path)),
+      what_(std::move(what)),
+      magic_(magic),
+      version_(version),
+      aux_(aux) {
+  // Open read-write, creating if absent. O_CREAT (not O_TRUNC) keeps the
+  // open race-free between concurrent campaigns: whoever opens second sees
+  // the first one's header instead of clobbering it.
+  const int fd = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    const int err = errno;
+    std::string reason = std::strerror(err);
+    if (err == EISDIR) {
+      reason = "path is a directory";
+    } else {
+      struct stat st;
+      if (stat(path_.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        reason = "path is a directory";
+      } else if (err == ENOENT) {
+        reason = "parent directory does not exist";
+      } else if (err == EACCES) {
+        reason = "permission denied (unwritable directory or file)";
+      }
+    }
+    throw std::runtime_error(what_ + ": cannot open " + path_ +
+                             " read-write: " + reason);
+  }
+  file_ = fdopen(fd, "r+b");
+  if (file_ == nullptr) {
+    ::close(fd);
+    throw std::runtime_error(what_ + ": cannot open " + path_ +
+                             " read-write: " + std::strerror(errno));
+  }
+}
+
+AppendLog::~AppendLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::size_t AppendLog::size() const {
+  struct stat st;
+  if (fstat(fileno(file_), &st) != 0) return 0;
+  return static_cast<std::size_t>(st.st_size);
+}
+
+void AppendLog::write_header() {
+  std::uint8_t header[kHeaderBytes];
+  put_u64(header, magic_);
+  put_u32(header + 8, version_);
+  put_u32(header + 12, aux_);
+  put_u64(header + 16, util::hash_bytes(header, 16));
+  std::fwrite(header, 1, sizeof header, file_);
+  std::fflush(file_);
+}
+
+void AppendLog::init_header() {
+  if (ftruncate(fileno(file_), 0) != 0) {
+    throw std::runtime_error(what_ + ": cannot truncate " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  std::fseek(file_, 0, SEEK_SET);
+  write_header();
+}
+
+bool AppendLog::check_header() const {
+  std::uint8_t header[kHeaderBytes];
+  std::fseek(file_, 0, SEEK_SET);
+  return std::fread(header, 1, sizeof header, file_) == sizeof header &&
+         get_u64(header) == magic_ && get_u32(header + 8) == version_ &&
+         get_u32(header + 12) == aux_ &&
+         get_u64(header + 16) == util::hash_bytes(header, 16);
+}
+
+bool AppendLog::truncate_to(std::size_t bytes) {
+  return ftruncate(fileno(file_), static_cast<off_t>(bytes)) == 0;
+}
+
+void AppendLog::rewrite_begin() {
+  if (std::freopen(path_.c_str(), "w+b", file_) == nullptr) {
+    throw std::runtime_error(what_ + ": cannot rewrite " + path_);
+  }
+  write_header();
+}
+
+}  // namespace sttsim::exec

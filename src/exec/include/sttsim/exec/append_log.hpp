@@ -1,0 +1,107 @@
+// Shared machinery for digest-keyed append-only log files — the common
+// substrate of the persistent result store (exec::ResultStore) and the
+// persistent compressed-trace store (exec::TraceStore).
+//
+// One AppendLog owns the open file and the on-disk framing every such store
+// shares:
+//  * a 24-byte header — magic (8), schema version (4), an aux field the
+//    store interprets (4, e.g. the ResultStore's fixed payload size), and an
+//    FNV checksum of the first 16 bytes (8) — written on initialization and
+//    verified on load;
+//  * open(2) with targeted diagnostics (path is a directory, parent missing,
+//    unwritable) so a store that can never work throws a clear
+//    std::runtime_error instead of a bare errno;
+//  * advisory exclusive flock(2) RAII (FileLock) for multi-process sharing —
+//    flock locks belong to the kernel's open file description, so a crashed
+//    writer can never leave a stale lock behind;
+//  * torn-tail truncation with the freopen-and-rewrite fallback for
+//    filesystems that cannot ftruncate.
+//
+// Record framing and indexing stay in the stores (fixed-size records for
+// results, length-prefixed blobs for traces); this layer only guarantees
+// that both agree byte-for-byte on everything an external process must
+// parse to interoperate.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace sttsim::exec {
+
+// Little-endian byte (de)serialization shared by the store record codecs.
+void put_u64(std::uint8_t* p, std::uint64_t v);
+void put_u32(std::uint8_t* p, std::uint32_t v);
+std::uint64_t get_u64(const std::uint8_t* p);
+std::uint32_t get_u32(const std::uint8_t* p);
+
+/// Advisory exclusive lock on a store file for the guard's lifetime.
+/// Released automatically when the holder closes the file or dies.
+class FileLock {
+ public:
+  explicit FileLock(std::FILE* file);
+  ~FileLock();
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_;
+};
+
+/// The open file + header framing of one append-only store.
+class AppendLog {
+ public:
+  /// magic (8) + version (4) + aux (4) + checksum of the first 16 bytes (8).
+  static constexpr std::size_t kHeaderBytes = 24;
+
+  /// Opens `path` read-write, creating it if absent (O_CREAT without
+  /// O_TRUNC keeps the open race-free between concurrent campaigns).
+  /// `what` names the store in diagnostics ("result store", "trace store").
+  /// Throws std::runtime_error when the path is a directory or cannot be
+  /// opened read-write (missing/unwritable parent, permissions).
+  AppendLog(std::string path, std::string what, std::uint64_t magic,
+            std::uint32_t version, std::uint32_t aux);
+  ~AppendLog();
+
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+
+  const std::string& path() const { return path_; }
+  const std::string& what() const { return what_; }
+  std::FILE* file() { return file_; }
+
+  /// Current file size (fstat; 0 on error).
+  std::size_t size() const;
+
+  /// Truncates to empty and writes a fresh header. Caller holds the lock.
+  /// Throws when the file cannot be truncated or written.
+  void init_header();
+
+  /// Reads the header and verifies magic/version/aux/checksum. Caller holds
+  /// the lock. False means the whole file must be re-initialized.
+  bool check_header() const;
+
+  /// Truncates the file to `bytes` (torn-tail recovery). Returns false when
+  /// the filesystem cannot truncate — the store then falls back to
+  /// rewrite_begin()/rewrite_end().
+  bool truncate_to(std::size_t bytes);
+
+  /// Fallback tail recovery for filesystems without ftruncate: reopens the
+  /// file empty ("w+b") and writes a fresh header; the store then re-appends
+  /// its indexed records and calls std::fflush. Throws when the reopen
+  /// fails. (freopen drops the flock with the old descriptor; the caller is
+  /// the only process that can see the torn file anyway.)
+  void rewrite_begin();
+
+ private:
+  void write_header();
+
+  std::string path_;
+  std::string what_;
+  std::uint64_t magic_;
+  std::uint32_t version_;
+  std::uint32_t aux_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace sttsim::exec

@@ -43,17 +43,18 @@
 //
 // The store is simulation-agnostic (payloads are opaque fixed-size byte
 // blobs) so the ThreadSanitizer exec test target can exercise it without
-// linking the simulation libraries.
+// linking the simulation libraries. The file/header/lock plumbing shared
+// with the trace store lives in exec::AppendLog (append_log.hpp).
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "sttsim/exec/append_log.hpp"
 
 namespace sttsim::exec {
 
@@ -76,7 +77,7 @@ class ResultStore {
   ResultStore(const ResultStore&) = delete;
   ResultStore& operator=(const ResultStore&) = delete;
 
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return log_.path(); }
   std::size_t payload_bytes() const { return payload_bytes_; }
 
   /// Number of indexed (valid) records.
@@ -115,12 +116,11 @@ class ResultStore {
   /// Caller holds mu_ and the exclusive flock.
   std::size_t scan_new_locked();
 
-  std::string path_;
   std::size_t payload_bytes_;
   std::size_t record_bytes_;
 
   mutable std::mutex mu_;
-  std::FILE* file_ = nullptr;
+  AppendLog log_;
   // Fixed-size payloads live in one flat arena; the index maps digest ->
   // arena offset. No per-record allocation, cheap snapshot-free reads under
   // the mutex (lookups copy out).

@@ -1,7 +1,9 @@
 // Process-wide throughput counters for the experiment engine: how many
-// simulations ran, how many trace operations they replayed, and how many
-// traces were generated. The perf_smoke bench snapshots these around each
-// figure to derive simulations/sec and trace-ops/sec for BENCH_perf.json.
+// simulations ran, how many trace operations they replayed, how many traces
+// were generated (vs served from the trace store), and how long each cold
+// phase — generate / decode / replay — took. The perf_smoke bench snapshots
+// these around each figure to derive simulations/sec, trace-ops/sec and the
+// per-phase timing breakdown for BENCH_perf.json.
 #pragma once
 
 #include <atomic>
@@ -20,6 +22,13 @@ struct TelemetrySnapshot {
   std::uint64_t tasks_retried = 0;    ///< transient-failure retry attempts
   std::uint64_t tasks_timed_out = 0;  ///< tasks past their request deadline
   std::uint64_t tasks_cancelled = 0;  ///< tasks skipped/drained on cancel
+  std::uint64_t trace_store_hits = 0;   ///< traces decoded from the store
+  std::uint64_t trace_store_misses = 0; ///< store probes that regenerated
+  std::uint64_t generate_ns = 0;      ///< wall ns synthesizing traces
+  std::uint64_t decode_ns = 0;        ///< wall ns deserializing/decompressing
+                                      ///< stored traces (warm path)
+  std::uint64_t replay_ns = 0;        ///< wall ns inside System::run /
+                                      ///< run_batch replay
 
   TelemetrySnapshot operator-(const TelemetrySnapshot& rhs) const {
     return {simulations - rhs.simulations, trace_ops - rhs.trace_ops,
@@ -27,7 +36,11 @@ struct TelemetrySnapshot {
             memo_hits - rhs.memo_hits, memo_misses - rhs.memo_misses,
             tasks_retried - rhs.tasks_retried,
             tasks_timed_out - rhs.tasks_timed_out,
-            tasks_cancelled - rhs.tasks_cancelled};
+            tasks_cancelled - rhs.tasks_cancelled,
+            trace_store_hits - rhs.trace_store_hits,
+            trace_store_misses - rhs.trace_store_misses,
+            generate_ns - rhs.generate_ns, decode_ns - rhs.decode_ns,
+            replay_ns - rhs.replay_ns};
   }
 };
 
@@ -56,6 +69,21 @@ class Telemetry {
   void count_task_cancelled() {
     tasks_cancelled_.fetch_add(1, std::memory_order_relaxed);
   }
+  void count_trace_store_hit() {
+    trace_store_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_trace_store_miss() {
+    trace_store_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_generate_ns(std::uint64_t ns) {
+    generate_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void count_decode_ns(std::uint64_t ns) {
+    decode_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void count_replay_ns(std::uint64_t ns) {
+    replay_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
 
   TelemetrySnapshot snapshot() const {
     return {simulations_.load(std::memory_order_relaxed),
@@ -65,7 +93,12 @@ class Telemetry {
             memo_misses_.load(std::memory_order_relaxed),
             tasks_retried_.load(std::memory_order_relaxed),
             tasks_timed_out_.load(std::memory_order_relaxed),
-            tasks_cancelled_.load(std::memory_order_relaxed)};
+            tasks_cancelled_.load(std::memory_order_relaxed),
+            trace_store_hits_.load(std::memory_order_relaxed),
+            trace_store_misses_.load(std::memory_order_relaxed),
+            generate_ns_.load(std::memory_order_relaxed),
+            decode_ns_.load(std::memory_order_relaxed),
+            replay_ns_.load(std::memory_order_relaxed)};
   }
 
   void reset() {
@@ -77,6 +110,11 @@ class Telemetry {
     tasks_retried_.store(0, std::memory_order_relaxed);
     tasks_timed_out_.store(0, std::memory_order_relaxed);
     tasks_cancelled_.store(0, std::memory_order_relaxed);
+    trace_store_hits_.store(0, std::memory_order_relaxed);
+    trace_store_misses_.store(0, std::memory_order_relaxed);
+    generate_ns_.store(0, std::memory_order_relaxed);
+    decode_ns_.store(0, std::memory_order_relaxed);
+    replay_ns_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -88,6 +126,11 @@ class Telemetry {
   std::atomic<std::uint64_t> tasks_retried_{0};
   std::atomic<std::uint64_t> tasks_timed_out_{0};
   std::atomic<std::uint64_t> tasks_cancelled_{0};
+  std::atomic<std::uint64_t> trace_store_hits_{0};
+  std::atomic<std::uint64_t> trace_store_misses_{0};
+  std::atomic<std::uint64_t> generate_ns_{0};
+  std::atomic<std::uint64_t> decode_ns_{0};
+  std::atomic<std::uint64_t> replay_ns_{0};
 };
 
 }  // namespace sttsim::exec

@@ -1,13 +1,8 @@
 #include "sttsim/exec/result_store.hpp"
 
-#include <cerrno>
+#include <atomic>
+#include <cstdio>
 #include <cstring>
-#include <stdexcept>
-
-#include <fcntl.h>
-#include <sys/file.h>
-#include <sys/stat.h>
-#include <unistd.h>
 
 #include "sttsim/util/hash.hpp"
 
@@ -18,49 +13,9 @@ namespace {
 // the header (not the magic) tracks payload-meaning changes.
 constexpr std::uint64_t kMagic = 0x31544c5352545453ULL;
 
-constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8;  // magic, schema, payload, check
-
-void put_u64(std::uint8_t* p, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-void put_u32(std::uint8_t* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-std::uint64_t get_u64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  return v;
-}
-std::uint32_t get_u32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-  return v;
-}
+constexpr std::size_t kHeaderBytes = AppendLog::kHeaderBytes;
 
 std::atomic<ResultStore*> g_store{nullptr};
-
-/// Advisory exclusive lock on the store file for the guard's lifetime.
-/// flock locks belong to the kernel's open file description: they are
-/// released automatically when the holder closes the file or dies, so a
-/// crashed writer can never leave a stale lock behind.
-class FileLock {
- public:
-  explicit FileLock(std::FILE* file) : fd_(fileno(file)) {
-    while (flock(fd_, LOCK_EX) != 0 && errno == EINTR) {}
-  }
-  ~FileLock() { flock(fd_, LOCK_UN); }
-  FileLock(const FileLock&) = delete;
-  FileLock& operator=(const FileLock&) = delete;
-
- private:
-  int fd_;
-};
-
-std::size_t file_size(std::FILE* file) {
-  struct stat st;
-  if (fstat(fileno(file), &st) != 0) return 0;
-  return static_cast<std::size_t>(st.st_size);
-}
 
 }  // namespace
 
@@ -71,47 +26,17 @@ void set_result_store(ResultStore* store) {
 ResultStore* result_store() { return g_store.load(std::memory_order_acquire); }
 
 ResultStore::ResultStore(std::string path, std::size_t payload_bytes)
-    : path_(std::move(path)),
-      payload_bytes_(payload_bytes),
+    : payload_bytes_(payload_bytes),
       // digest u64 + payload + checksum u64 over (digest || payload)
-      record_bytes_(8 + payload_bytes + 8) {
-  // Open read-write, creating if absent. O_CREAT (not O_TRUNC) keeps the
-  // open race-free between concurrent campaigns: whoever opens second sees
-  // the first one's header instead of clobbering it.
-  const int fd = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    const int err = errno;
-    std::string reason = std::strerror(err);
-    if (err == EISDIR) {
-      reason = "path is a directory";
-    } else {
-      struct stat st;
-      if (stat(path_.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
-        reason = "path is a directory";
-      } else if (err == ENOENT) {
-        reason = "parent directory does not exist";
-      } else if (err == EACCES) {
-        reason = "permission denied (unwritable directory or file)";
-      }
-    }
-    throw std::runtime_error("result store: cannot open " + path_ +
-                             " read-write: " + reason);
-  }
-  file_ = fdopen(fd, "r+b");
-  if (file_ == nullptr) {
-    ::close(fd);
-    throw std::runtime_error("result store: cannot open " + path_ +
-                             " read-write: " + std::strerror(errno));
-  }
+      record_bytes_(8 + payload_bytes + 8),
+      log_(std::move(path), "result store", kMagic, kSchemaVersion,
+           static_cast<std::uint32_t>(payload_bytes)) {
   std::lock_guard<std::mutex> lock(mu_);
-  FileLock file_lock(file_);
+  FileLock file_lock(log_.file());
   load_or_init_locked();
 }
 
-ResultStore::~ResultStore() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (file_ != nullptr) std::fclose(file_);
-}
+ResultStore::~ResultStore() = default;
 
 std::size_t ResultStore::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -119,25 +44,14 @@ std::size_t ResultStore::entries() const {
 }
 
 void ResultStore::init_header_locked() {
-  if (ftruncate(fileno(file_), 0) != 0) {
-    throw std::runtime_error("result store: cannot truncate " + path_ + ": " +
-                             std::strerror(errno));
-  }
-  std::uint8_t header[kHeaderBytes];
-  put_u64(header, kMagic);
-  put_u32(header + 8, kSchemaVersion);
-  put_u32(header + 12, static_cast<std::uint32_t>(payload_bytes_));
-  put_u64(header + 16, util::hash_bytes(header, 16));
-  std::fseek(file_, 0, SEEK_SET);
-  std::fwrite(header, 1, sizeof header, file_);
-  std::fflush(file_);
+  log_.init_header();
   index_.clear();
   arena_.clear();
   scan_end_ = kHeaderBytes;
 }
 
 void ResultStore::load_or_init_locked() {
-  const std::size_t size = file_size(file_);
+  const std::size_t size = log_.size();
   if (size == 0) {
     // Fresh file (we created it, or we won the creation race).
     init_header_locked();
@@ -146,18 +60,11 @@ void ResultStore::load_or_init_locked() {
 
   // Header: wrong magic / schema / payload size / checksum invalidates the
   // whole file — recompute everything rather than misread old records.
-  std::uint8_t header[kHeaderBytes];
-  std::fseek(file_, 0, SEEK_SET);
-  bool header_ok =
-      std::fread(header, 1, sizeof header, file_) == sizeof header &&
-      get_u64(header) == kMagic && get_u32(header + 8) == kSchemaVersion &&
-      get_u32(header + 12) == payload_bytes_ &&
-      get_u64(header + 16) == util::hash_bytes(header, 16);
-  if (!header_ok) {
+  if (!log_.check_header()) {
     std::fprintf(stderr,
                  "[sttsim] result store %s: header/schema mismatch, "
                  "re-initializing empty (old records invalidated)\n",
-                 path_.c_str());
+                 log_.path().c_str());
     init_header_locked();
     return;
   }
@@ -166,7 +73,7 @@ void ResultStore::load_or_init_locked() {
 }
 
 std::size_t ResultStore::scan_new_locked() {
-  const std::size_t size = file_size(file_);
+  const std::size_t size = log_.size();
   if (size < scan_end_) {
     // The file shrank below our high-water mark: a foreign process
     // re-initialized it (schema change). Reload from scratch rather than
@@ -182,12 +89,13 @@ std::size_t ResultStore::scan_new_locked() {
   // place, preserving alignment) complete corrupt ones; truncate a torn
   // tail — under the exclusive lock nobody is mid-append, so a partial
   // record can only be a crashed/killed writer's leftovers.
+  std::FILE* file = log_.file();
   std::size_t added = 0;
   std::vector<std::uint8_t> rec(record_bytes_);
-  std::fseek(file_, static_cast<long>(scan_end_), SEEK_SET);
+  std::fseek(file, static_cast<long>(scan_end_), SEEK_SET);
   std::size_t tail = 0;
   while (true) {
-    const std::size_t got = std::fread(rec.data(), 1, record_bytes_, file_);
+    const std::size_t got = std::fread(rec.data(), 1, record_bytes_, file);
     if (got < record_bytes_) {
       tail = got;
       break;
@@ -207,32 +115,25 @@ std::size_t ResultStore::scan_new_locked() {
   }
   if (tail != 0) {
     truncated_ += tail;
-    if (ftruncate(fileno(file_), static_cast<off_t>(scan_end_)) != 0) {
+    if (!log_.truncate_to(scan_end_)) {
       // Cannot truncate (exotic filesystem): rewrite the log from the
       // indexed records — still never abort. freopen drops the flock with
       // the old descriptor; this process is the only one that can see the
       // torn file anyway (it holds the only reference that matters for
       // correctness of its own index).
-      if (std::freopen(path_.c_str(), "w+b", file_) == nullptr) {
-        throw std::runtime_error("result store: cannot rewrite " + path_);
-      }
+      log_.rewrite_begin();
+      file = log_.file();
       std::vector<std::pair<std::uint64_t, std::size_t>> records(
           index_.begin(), index_.end());
-      std::uint8_t header[kHeaderBytes];
-      put_u64(header, kMagic);
-      put_u32(header + 8, kSchemaVersion);
-      put_u32(header + 12, static_cast<std::uint32_t>(payload_bytes_));
-      put_u64(header + 16, util::hash_bytes(header, 16));
-      std::fwrite(header, 1, sizeof header, file_);
       std::vector<std::uint8_t> out(record_bytes_);
       for (const auto& [digest, offset] : records) {
         put_u64(out.data(), digest);
         std::memcpy(out.data() + 8, arena_.data() + offset, payload_bytes_);
         put_u64(out.data() + 8 + payload_bytes_,
                 util::hash_bytes(out.data(), 8 + payload_bytes_));
-        std::fwrite(out.data(), 1, out.size(), file_);
+        std::fwrite(out.data(), 1, out.size(), file);
       }
-      std::fflush(file_);
+      std::fflush(file);
       scan_end_ = kHeaderBytes + records.size() * record_bytes_;
     }
   }
@@ -255,20 +156,21 @@ bool ResultStore::contains(std::uint64_t digest) const {
 void ResultStore::append(std::uint64_t digest, const void* payload) {
   std::lock_guard<std::mutex> lock(mu_);
   if (index_.count(digest) != 0) return;  // first write wins (this process)
-  FileLock file_lock(file_);
+  FileLock file_lock(log_.file());
   // Pick up records concurrent campaigns appended since our last scan:
   // first-write-wins must hold across processes too, so a digest another
   // writer just landed is never duplicated or overwritten.
   scan_new_locked();
   if (index_.count(digest) != 0) return;  // first write wins (cross-process)
+  std::FILE* file = log_.file();
   std::vector<std::uint8_t> rec(record_bytes_);
   put_u64(rec.data(), digest);
   std::memcpy(rec.data() + 8, payload, payload_bytes_);
   put_u64(rec.data() + 8 + payload_bytes_,
           util::hash_bytes(rec.data(), 8 + payload_bytes_));
-  std::fseek(file_, static_cast<long>(scan_end_), SEEK_SET);
-  std::fwrite(rec.data(), 1, rec.size(), file_);
-  std::fflush(file_);
+  std::fseek(file, static_cast<long>(scan_end_), SEEK_SET);
+  std::fwrite(rec.data(), 1, rec.size(), file);
+  std::fflush(file);
   scan_end_ += record_bytes_;
   index_.emplace(digest, arena_.size());
   const auto* p = static_cast<const std::uint8_t*>(payload);
@@ -277,8 +179,7 @@ void ResultStore::append(std::uint64_t digest, const void* payload) {
 
 std::size_t ResultStore::refresh() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (file_ == nullptr) return 0;
-  FileLock file_lock(file_);
+  FileLock file_lock(log_.file());
   return scan_new_locked();
 }
 

@@ -424,7 +424,7 @@ std::string lifetime_report(const KernelFilter& filter) {
   const std::vector<std::vector<std::string>> rows =
       pool.map(kernels.size(), [&](std::size_t i) {
         const Kernel& k = kernels[i];
-        const cpu::Trace& trace = cache.get(k, base);
+        const cpu::DecodedTrace& trace = cache.get_decoded(k, base);
         cpu::System system(cfg, cpu::System::kPrevalidated);
         const sim::RunStats stats = system.run(trace);
         exec::Telemetry::instance().count_simulation(trace.size());

@@ -1,20 +1,30 @@
 #include "sttsim/experiments/harness.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <limits>
 #include <tuple>
 
 #include "sttsim/cpu/batch_replay.hpp"
+#include "sttsim/cpu/decoded_trace.hpp"
 #include "sttsim/cpu/trace_io.hpp"
 #include "sttsim/exec/parallel_executor.hpp"
 #include "sttsim/exec/request.hpp"
 #include "sttsim/exec/result_store.hpp"
 #include "sttsim/exec/telemetry.hpp"
+#include "sttsim/exec/trace_store.hpp"
 #include "sttsim/util/check.hpp"
 #include "sttsim/util/hash.hpp"
 
 namespace sttsim::experiments {
 namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 auto codegen_tuple(const workloads::CodegenOptions& o) {
   return std::make_tuple(o.vectorize, o.vector_width, o.prefetch,
@@ -96,6 +106,22 @@ util::Hash64 digest_base() {
 
 }  // namespace
 
+std::uint64_t trace_digest(std::string_view kernel_name,
+                           const workloads::CodegenOptions& opts) {
+  // Own version preamble: trace blobs are keyed by everything that
+  // determines their bytes and nothing else — system configuration does not
+  // change a generated trace, so it is deliberately absent (one stored
+  // trace serves every organization in a grid).
+  util::Hash64 h;
+  h.u32(util::kHashVersion)
+      .u32(exec::TraceStore::kSchemaVersion)
+      .u32(cpu::kTraceFormatVersion);
+  h.u8(2);  // key flavor: generated-trace blob
+  h.str(kernel_name);
+  hash_codegen(h, opts);
+  return h.digest();
+}
+
 std::uint64_t simulation_digest(std::string_view kernel_name,
                                 const workloads::CodegenOptions& opts,
                                 const cpu::SystemConfig& config) {
@@ -157,13 +183,53 @@ const CachedWorkload& TraceCache::get_workload(
   return cache_.get_or_generate(
       lookup, [&] { return Key{kernel.name, opts}; },
       [&] {
-        exec::Telemetry::instance().count_trace_generated();
+        exec::Telemetry& telemetry = exec::Telemetry::instance();
+        exec::TraceStore* tstore = exec::trace_store();
         CachedWorkload w;
-        w.trace = kernel.generate(opts);
-        w.decoded = cpu::decode(w.trace);
+        if (tstore != nullptr) {
+          // Warm path: decode the stored compressed blob — no generation.
+          const std::uint64_t digest = trace_digest(kernel.name, opts);
+          std::vector<std::uint8_t> blob;
+          if (tstore->lookup(digest, blob)) {
+            const std::uint64_t t0 = now_ns();
+            if (cpu::deserialize_compressed(blob.data(), blob.size(),
+                                            w.compressed)) {
+              w.decoded = cpu::decompress(w.compressed);
+              telemetry.count_decode_ns(now_ns() - t0);
+              telemetry.count_trace_store_hit();
+              return w;
+            }
+            // Malformed blob (should be unreachable behind the store's
+            // checksum): fall through and regenerate.
+            w.compressed = cpu::CompressedTrace{};
+          }
+          telemetry.count_trace_store_miss();
+        }
+        telemetry.count_trace_generated();
+        const std::uint64_t t0 = now_ns();
+        // Direct-to-decoded synthesis; hand-rolled Kernel objects (tests)
+        // may only provide the raw generator — decode then.
+        w.decoded = kernel.generate_decoded
+                        ? kernel.generate_decoded(opts)
+                        : cpu::decode(kernel.generate(opts));
         w.compressed = cpu::compress(w.decoded);
+        telemetry.count_generate_ns(now_ns() - t0);
+        if (tstore != nullptr) {
+          const std::vector<std::uint8_t> blob =
+              cpu::serialize_compressed(w.compressed);
+          tstore->append(trace_digest(kernel.name, opts), blob.data(),
+                         blob.size());
+        }
         return w;
       });
+}
+
+const cpu::Trace& TraceCache::get(const workloads::Kernel& kernel,
+                                  const workloads::CodegenOptions& opts) {
+  const KeyView lookup{kernel.name, &opts};
+  return raw_cache_.get_or_generate(
+      lookup, [&] { return Key{kernel.name, opts}; },
+      [&] { return cpu::reassemble(get_workload(kernel, opts).decoded); });
 }
 
 sim::RunStats run_kernel(TraceCache& cache, const workloads::Kernel& kernel,
@@ -182,7 +248,9 @@ sim::RunStats run_kernel(TraceCache& cache, const workloads::Kernel& kernel,
   }
   const CachedWorkload& workload = cache.get_workload(kernel, opts);
   cpu::System system(config);
+  const std::uint64_t t0 = now_ns();
   const sim::RunStats stats = system.run(workload.decoded);
+  exec::Telemetry::instance().count_replay_ns(now_ns() - t0);
   exec::Telemetry::instance().count_simulation(workload.decoded.size());
   if (store != nullptr) {
     std::uint8_t payload[sim::kRunStatsBytes];
@@ -253,7 +321,9 @@ void run_points_solo(TraceCache& cache,
         const cpu::DecodedTrace& trace =
             cache.get_decoded(kernels[p.k], job.opts);
         cpu::System system(job.config, cpu::System::kPrevalidated);
+        const std::uint64_t t0 = now_ns();
         const sim::RunStats stats = system.run(trace);
+        exec::Telemetry::instance().count_replay_ns(now_ns() - t0);
         exec::Telemetry::instance().count_simulation(trace.size());
         store_append(store, p.digest, stats);
         return stats;
@@ -331,8 +401,10 @@ void run_points_batched(TraceCache& cache,
         std::vector<cpu::System*> lanes;
         lanes.reserve(systems.size());
         for (cpu::System& s : systems) lanes.push_back(&s);
+        const std::uint64_t t0 = now_ns();
         std::vector<sim::RunStats> stats =
             cpu::System::run_batch(workload.compressed, lanes);
+        exec::Telemetry::instance().count_replay_ns(now_ns() - t0);
         for (std::size_t i = 0; i < task.size(); ++i) {
           exec::Telemetry::instance().count_simulation(workload.decoded.size());
           store_append(store, points[task[i]].digest, stats[i]);
@@ -373,6 +445,11 @@ std::vector<std::vector<sim::RunStats>> run_grid(
     // store file) appended since our last scan, so their finished points
     // probe warm here instead of being re-simulated.
     store->refresh();
+  }
+  if (exec::TraceStore* tstore = exec::trace_store(); tstore != nullptr) {
+    // Same for traces: blobs appended by concurrent campaigns sharing the
+    // trace-store file serve this grid's misses without regeneration.
+    tstore->refresh();
   }
   const exec::TelemetrySnapshot before = exec::Telemetry::instance().snapshot();
   std::vector<std::vector<sim::RunStats>> out(

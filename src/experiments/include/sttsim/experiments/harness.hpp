@@ -29,33 +29,42 @@ double penalty_pct(const sim::RunStats& variant,
 double gain_pct(const sim::RunStats& unoptimized,
                 const sim::RunStats& optimized);
 
-/// A memoized workload: the raw generated trace, its replay-optimized
-/// decoded form (cpu::decode), and the delta/RLE-compressed form the
-/// batched replay engine streams (cpu::compress) — each produced once and
-/// shared read-only across every grid point that replays this
-/// (kernel, codegen).
+/// A memoized workload: the replay-optimized decoded form (synthesized
+/// directly by the generator, or decoded from the persistent trace store)
+/// and the delta/RLE-compressed form the batched replay engine streams
+/// (cpu::compress) — each produced once and shared read-only across every
+/// grid point that replays this (kernel, codegen). The raw TraceOp form is
+/// not part of the cold path any more; TraceCache::get() reassembles it on
+/// demand for the few diagnostics that want it.
 struct CachedWorkload {
-  cpu::Trace trace;
   cpu::DecodedTrace decoded;
   cpu::CompressedTrace compressed;
 };
 
 /// Memoizes generated traces per (kernel, codegen) so multi-figure bench
-/// binaries do not regenerate identical traces — and decodes each exactly
-/// once, so grid replays all start from the packed representation.
+/// binaries do not regenerate identical traces — synthesized straight into
+/// the packed decoded representation (Kernel::generate_decoded), so grid
+/// replays never touch a raw TraceOp vector or a decode() pass.
 /// Concurrency-safe: a shared_mutex guards the index and a per-key
 /// once-latch guarantees each trace is generated exactly once even when many
 /// parallel jobs request it simultaneously. Cache hits allocate nothing
 /// (heterogeneous lookup by kernel-name view + codegen fields; no key string
 /// is built).
+///
+/// When a persistent trace store is active (exec::set_trace_store; the
+/// benches' --trace-store=PATH flag), a miss probes the store by
+/// trace_digest first — a hit deserializes the stored CompressedTrace and
+/// decompresses it (no generation at all; Telemetry::traces_generated stays
+/// 0 on a warm run) — and a generated trace is appended for the next run.
 class TraceCache {
  public:
   const CachedWorkload& get_workload(const workloads::Kernel& kernel,
                                      const workloads::CodegenOptions& opts);
+  /// Raw TraceOp form, reassembled from the decoded trace on first request
+  /// and memoized separately (diagnostics only — lifetime reports, dumps;
+  /// the replay paths never call this).
   const cpu::Trace& get(const workloads::Kernel& kernel,
-                        const workloads::CodegenOptions& opts) {
-    return get_workload(kernel, opts).trace;
-  }
+                        const workloads::CodegenOptions& opts);
   const cpu::DecodedTrace& get_decoded(const workloads::Kernel& kernel,
                                        const workloads::CodegenOptions& opts) {
     return get_workload(kernel, opts).decoded;
@@ -88,7 +97,19 @@ class TraceCache {
   };
 
   exec::ConcurrentMemoCache<Key, CachedWorkload, KeyLess> cache_;
+  /// Raw traces live in their own memo so entries() — the generation count
+  /// tests observe — keeps counting workloads, not diagnostic reassemblies.
+  exec::ConcurrentMemoCache<Key, cpu::Trace, KeyLess> raw_cache_;
 };
+
+/// Stable 64-bit digest of everything that determines a generated trace's
+/// bytes: kernel identity, codegen options — plus the trace-format version,
+/// the trace-store schema version, and the hash algorithm version, so a
+/// format change invalidates stored blobs instead of misreading them. This
+/// is the persistent trace store's key (exec::TraceStore): equal digests
+/// certify "the generator would emit a bit-identical compressed trace".
+std::uint64_t trace_digest(std::string_view kernel_name,
+                           const workloads::CodegenOptions& opts);
 
 /// Stable 64-bit digest of the *full* simulation input of one grid point:
 /// kernel identity, codegen options, DL1 organization geometry, technology

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sttsim/util/bits.hpp"
+#include "sttsim/util/simd.hpp"
 
 namespace sttsim::mem {
 
@@ -124,10 +125,11 @@ class SetAssocCache {
   /// Branchless at every associativity: the 2-way L1 case compares both
   /// tags in one 16 B load's worth of work; wider sets (the unified L2,
   /// sweep configurations) build a match mask over the packed tag vector in
-  /// a single compare pass — plain uint64 equality the compiler vectorizes
-  /// — and reduce it with a count-trailing-zeros. Both forms return the
-  /// first matching way, like the historical scan (tags are unique within a
-  /// set, so at most one bit is ever set).
+  /// a single explicit-SIMD compare pass (util::simd::match_mask_u64 —
+  /// AVX2/SSE2/NEON, scalar fallback, bit-identical either way) and reduce
+  /// it with a count-trailing-zeros. Both forms return the first matching
+  /// way, like the historical scan (tags are unique within a set, so at
+  /// most one bit is ever set).
   std::ptrdiff_t find_way(Addr addr) const {
     const std::size_t base = set_index(addr) * assoc_;
     const Addr tag = tag_of(addr);
@@ -140,11 +142,7 @@ class SetAssocCache {
       return static_cast<std::ptrdiff_t>(base + (h0 ? 0 : 1));
     }
     if (assoc_ <= 64) {
-      std::uint64_t match = 0;
-      STTSIM_VEC_LOOP
-      for (unsigned w = 0; w < assoc_; ++w) {
-        match |= static_cast<std::uint64_t>(t[w] == tag) << w;
-      }
+      const std::uint64_t match = util::simd::match_mask_u64(t, assoc_, tag);
       if (match == 0) return -1;
       return static_cast<std::ptrdiff_t>(
           base + static_cast<unsigned>(std::countr_zero(match)));

@@ -15,7 +15,7 @@ Emitter::Emitter(const CodegenOptions& opts, std::uint64_t stream_line_bytes)
 
 void Emitter::flush_exec() {
   if (pending_exec_ == 0) return;
-  trace_.push_back(cpu::make_exec(pending_exec_));
+  builder_.exec(pending_exec_);
   pending_exec_ = 0;
 }
 
@@ -33,13 +33,17 @@ void Emitter::loop_setup() { exec(opts_.branch_opts ? 1 : 3); }
 void Emitter::flop(std::uint32_t n) { exec(n); }
 
 void Emitter::load(Addr a, unsigned n_elems) {
+  const unsigned size = n_elems * kElem;
+  STTSIM_CHECK(size > 0 && size <= 255);
   flush_exec();
-  trace_.push_back(cpu::make_load(a, n_elems * kElem));
+  builder_.load(a, static_cast<std::uint8_t>(size));
 }
 
 void Emitter::store(Addr a, unsigned n_elems) {
+  const unsigned size = n_elems * kElem;
+  STTSIM_CHECK(size > 0 && size <= 255);
   flush_exec();
-  trace_.push_back(cpu::make_store(a, n_elems * kElem));
+  builder_.store(a, static_cast<std::uint8_t>(size));
 }
 
 bool Emitter::first_in_line(Addr a, unsigned bytes) const {
@@ -67,12 +71,14 @@ void Emitter::stream_store(Addr a, unsigned n_elems) {
 void Emitter::prefetch(Addr a) {
   if (!opts_.prefetch) return;
   flush_exec();
-  trace_.push_back(cpu::make_prefetch(a));
+  builder_.prefetch(a);
 }
 
-cpu::Trace Emitter::take() {
+cpu::Trace Emitter::take() { return cpu::reassemble(take_decoded()); }
+
+cpu::DecodedTrace Emitter::take_decoded() {
   flush_exec();
-  return std::move(trace_);
+  return builder_.take();
 }
 
 }  // namespace sttsim::workloads

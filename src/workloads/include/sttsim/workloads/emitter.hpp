@@ -12,8 +12,16 @@
 //
 // Consecutive exec cycles are merged into single trace ops to keep traces
 // compact.
+//
+// Emission is direct-to-decoded: ops land in a cpu::DecodedTraceBuilder as
+// packed 16-byte DecodedOps with granule spans precomputed, so the cold
+// campaign path (take_decoded()) never materializes a raw TraceOp vector or
+// runs a separate decode() pass. take() reassembles the raw trace for
+// legacy consumers (trace_io capture, the oracle, direct kernel callers) —
+// byte-identical to what the historical TraceOp-building emitter produced.
 #pragma once
 
+#include "sttsim/cpu/decoded_trace.hpp"
 #include "sttsim/cpu/trace.hpp"
 #include "sttsim/workloads/codegen.hpp"
 #include "sttsim/workloads/data_layout.hpp"
@@ -59,8 +67,14 @@ class Emitter {
   /// Explicit software prefetch (no-op unless prefetching is enabled).
   void prefetch(Addr a);
 
-  /// Finishes emission and yields the trace.
+  /// Finishes emission and yields the raw trace (reassembled from the
+  /// decoded form; legacy consumers only — the campaign path uses
+  /// take_decoded()).
   cpu::Trace take();
+
+  /// Finishes emission and yields the packed decoded trace directly — the
+  /// cold campaign path: no TraceOp vector, no decode() pass.
+  cpu::DecodedTrace take_decoded();
 
  private:
   void flush_exec();
@@ -68,7 +82,7 @@ class Emitter {
 
   CodegenOptions opts_;
   std::uint64_t stream_line_bytes_;
-  cpu::Trace trace_;
+  cpu::DecodedTraceBuilder builder_;
   std::uint32_t pending_exec_ = 0;
 };
 

@@ -17,6 +17,7 @@
 
 #include "sttsim/cpu/trace.hpp"
 #include "sttsim/workloads/codegen.hpp"
+#include "sttsim/workloads/emitter.hpp"
 
 namespace sttsim::workloads {
 
@@ -116,5 +117,46 @@ cpu::Trace fdtd_2d(std::uint64_t nx, std::uint64_t ny, std::uint64_t tsteps,
 /// heat-3d: 7-point 3-D heat stencil, double-buffered.
 cpu::Trace heat_3d(std::uint64_t n, std::uint64_t tsteps,
                    const CodegenOptions& o);
+
+// --- Direct-to-decoded emission bodies. -----------------------------------
+//
+// Each kernel's symbolic execution emits into a caller-supplied Emitter
+// (whose CodegenOptions select the code shape); the cpu::Trace wrappers
+// above are thin `Emitter em(o); X_into(em, ...); return em.take();`
+// shells. The suite builds both Kernel::generate and
+// Kernel::generate_decoded from these, so the campaign cold path synthesizes
+// packed DecodedOps directly — no TraceOp vector, no separate decode pass.
+
+void atax_into(Emitter& em, std::uint64_t m, std::uint64_t n);
+void bicg_into(Emitter& em, std::uint64_t m, std::uint64_t n);
+void gemver_into(Emitter& em, std::uint64_t n);
+void gesummv_into(Emitter& em, std::uint64_t n);
+void mvt_into(Emitter& em, std::uint64_t n);
+void trisolv_into(Emitter& em, std::uint64_t n);
+void gemm_into(Emitter& em, std::uint64_t ni, std::uint64_t nj,
+               std::uint64_t nk);
+void syrk_into(Emitter& em, std::uint64_t n, std::uint64_t m);
+void syr2k_into(Emitter& em, std::uint64_t n, std::uint64_t m);
+void trmm_into(Emitter& em, std::uint64_t n, std::uint64_t m);
+void two_mm_into(Emitter& em, std::uint64_t ni, std::uint64_t nj,
+                 std::uint64_t nk, std::uint64_t nl);
+void three_mm_into(Emitter& em, std::uint64_t ni, std::uint64_t nj,
+                   std::uint64_t nk, std::uint64_t nl, std::uint64_t nm);
+void jacobi_1d_into(Emitter& em, std::uint64_t n, std::uint64_t tsteps);
+void jacobi_2d_into(Emitter& em, std::uint64_t n, std::uint64_t tsteps);
+void cholesky_into(Emitter& em, std::uint64_t n);
+void lu_into(Emitter& em, std::uint64_t n);
+void symm_into(Emitter& em, std::uint64_t m, std::uint64_t n);
+void doitgen_into(Emitter& em, std::uint64_t nr, std::uint64_t nq,
+                  std::uint64_t np);
+void seidel_2d_into(Emitter& em, std::uint64_t n, std::uint64_t tsteps);
+void covariance_into(Emitter& em, std::uint64_t m, std::uint64_t n);
+void floyd_warshall_into(Emitter& em, std::uint64_t n);
+void durbin_into(Emitter& em, std::uint64_t n);
+void gramschmidt_into(Emitter& em, std::uint64_t m, std::uint64_t n);
+void adi_into(Emitter& em, std::uint64_t n, std::uint64_t tsteps);
+void fdtd_2d_into(Emitter& em, std::uint64_t nx, std::uint64_t ny,
+                  std::uint64_t tsteps);
+void heat_3d_into(Emitter& em, std::uint64_t n, std::uint64_t tsteps);
 
 }  // namespace sttsim::workloads

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sttsim/cpu/decoded_trace.hpp"
 #include "sttsim/cpu/trace.hpp"
 #include "sttsim/workloads/codegen.hpp"
 
@@ -17,6 +18,12 @@ struct Kernel {
   std::string description;
   std::uint64_t footprint_bytes = 0;  ///< total array bytes at default size
   std::function<cpu::Trace(const CodegenOptions&)> generate;
+  /// Direct-to-decoded synthesis: the same emission sequence as generate,
+  /// landing in packed DecodedOps without a TraceOp vector or decode()
+  /// pass. Byte-identical to cpu::decode(generate(o)). May be empty on
+  /// hand-rolled Kernel objects (tests); the trace cache falls back to
+  /// decode(generate(o)) then.
+  std::function<cpu::DecodedTrace(const CodegenOptions&)> generate_decoded;
 };
 
 /// The 14-kernel suite, in a stable report order ending before the AVERAGE

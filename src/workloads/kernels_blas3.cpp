@@ -97,22 +97,24 @@ void emit_matmul(Emitter& em, const Matrix& C, const Matrix& A,
 
 }  // namespace
 
-cpu::Trace gemm(std::uint64_t ni, std::uint64_t nj, std::uint64_t nk,
-                const CodegenOptions& o) {
+void gemm_into(Emitter& em, std::uint64_t ni, std::uint64_t nj, std::uint64_t nk) {
   DataLayout mem;
   const Matrix A = mem.matrix("A", ni, nk);
   const Matrix B = mem.matrix("B", nk, nj);
   const Matrix C = mem.matrix("C", ni, nj);
-  Emitter em(o);
   emit_matmul(em, C, A, B, /*scale_c=*/true);
+}
+
+cpu::Trace gemm(std::uint64_t ni, std::uint64_t nj, std::uint64_t nk, const CodegenOptions& o) {
+  Emitter em(o);
+  gemm_into(em, ni, nj, nk);
   return em.take();
 }
 
-cpu::Trace syrk(std::uint64_t n, std::uint64_t m, const CodegenOptions& o) {
+void syrk_into(Emitter& em, std::uint64_t n, std::uint64_t m) {
   DataLayout mem;
   const Matrix A = mem.matrix("A", n, m);
   const Matrix C = mem.matrix("C", n, n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -139,15 +141,19 @@ cpu::Trace syrk(std::uint64_t n, std::uint64_t m, const CodegenOptions& o) {
       em.store(C.at(i, j));
     }
   }
+}
+
+cpu::Trace syrk(std::uint64_t n, std::uint64_t m, const CodegenOptions& o) {
+  Emitter em(o);
+  syrk_into(em, n, m);
   return em.take();
 }
 
-cpu::Trace syr2k(std::uint64_t n, std::uint64_t m, const CodegenOptions& o) {
+void syr2k_into(Emitter& em, std::uint64_t n, std::uint64_t m) {
   DataLayout mem;
   const Matrix A = mem.matrix("A", n, m);
   const Matrix B = mem.matrix("B", n, m);
   const Matrix C = mem.matrix("C", n, n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -177,14 +183,19 @@ cpu::Trace syr2k(std::uint64_t n, std::uint64_t m, const CodegenOptions& o) {
       em.store(C.at(i, j));
     }
   }
+}
+
+cpu::Trace syr2k(std::uint64_t n, std::uint64_t m, const CodegenOptions& o) {
+  Emitter em(o);
+  syr2k_into(em, n, m);
   return em.take();
 }
 
-cpu::Trace trmm(std::uint64_t n, std::uint64_t m, const CodegenOptions& o) {
+void trmm_into(Emitter& em, std::uint64_t n, std::uint64_t m) {
+  const CodegenOptions& o = em.options();
   DataLayout mem;
   const Matrix A = mem.matrix("A", n, n);
   const Matrix B = mem.matrix("B", n, m);
-  Emitter em(o);
   const unsigned w = em.width();
 
   if (!o.vectorize) {
@@ -207,7 +218,7 @@ cpu::Trace trmm(std::uint64_t n, std::uint64_t m, const CodegenOptions& o) {
         em.store(B.at(i, j));
       }
     }
-    return em.take();
+    return;
   }
 
   // Vector shape: j innermost and widened; B rows become unit-stride.
@@ -247,26 +258,32 @@ cpu::Trace trmm(std::uint64_t n, std::uint64_t m, const CodegenOptions& o) {
           em.stream_store(B.at(i, j));
         });
   }
+}
+
+cpu::Trace trmm(std::uint64_t n, std::uint64_t m, const CodegenOptions& o) {
+  Emitter em(o);
+  trmm_into(em, n, m);
   return em.take();
 }
 
-cpu::Trace two_mm(std::uint64_t ni, std::uint64_t nj, std::uint64_t nk,
-                  std::uint64_t nl, const CodegenOptions& o) {
+void two_mm_into(Emitter& em, std::uint64_t ni, std::uint64_t nj, std::uint64_t nk, std::uint64_t nl) {
   DataLayout mem;
   const Matrix A = mem.matrix("A", ni, nk);
   const Matrix B = mem.matrix("B", nk, nj);
   const Matrix tmp = mem.matrix("tmp", ni, nj);
   const Matrix C = mem.matrix("C", nj, nl);
   const Matrix D = mem.matrix("D", ni, nl);
-  Emitter em(o);
   emit_matmul(em, tmp, A, B, /*scale_c=*/false);
   emit_matmul(em, D, tmp, C, /*scale_c=*/true);
+}
+
+cpu::Trace two_mm(std::uint64_t ni, std::uint64_t nj, std::uint64_t nk, std::uint64_t nl, const CodegenOptions& o) {
+  Emitter em(o);
+  two_mm_into(em, ni, nj, nk, nl);
   return em.take();
 }
 
-cpu::Trace three_mm(std::uint64_t ni, std::uint64_t nj, std::uint64_t nk,
-                    std::uint64_t nl, std::uint64_t nm,
-                    const CodegenOptions& o) {
+void three_mm_into(Emitter& em, std::uint64_t ni, std::uint64_t nj, std::uint64_t nk, std::uint64_t nl, std::uint64_t nm) {
   DataLayout mem;
   const Matrix A = mem.matrix("A", ni, nk);
   const Matrix B = mem.matrix("B", nk, nj);
@@ -275,10 +292,14 @@ cpu::Trace three_mm(std::uint64_t ni, std::uint64_t nj, std::uint64_t nk,
   const Matrix D = mem.matrix("D", nm, nl);
   const Matrix F = mem.matrix("F", nj, nl);
   const Matrix G = mem.matrix("G", ni, nl);
-  Emitter em(o);
   emit_matmul(em, E, A, B, /*scale_c=*/false);
   emit_matmul(em, F, C, D, /*scale_c=*/false);
   emit_matmul(em, G, E, F, /*scale_c=*/false);
+}
+
+cpu::Trace three_mm(std::uint64_t ni, std::uint64_t nj, std::uint64_t nk, std::uint64_t nl, std::uint64_t nm, const CodegenOptions& o) {
+  Emitter em(o);
+  three_mm_into(em, ni, nj, nk, nl, nm);
   return em.take();
 }
 

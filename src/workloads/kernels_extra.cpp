@@ -29,10 +29,9 @@ void vloop_range(Emitter& em, std::uint64_t lo, std::uint64_t hi, VecFn vec,
 
 }  // namespace
 
-cpu::Trace cholesky(std::uint64_t n, const CodegenOptions& o) {
+void cholesky_into(Emitter& em, std::uint64_t n) {
   DataLayout mem;
   const Matrix A = mem.matrix("A", n, n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -75,13 +74,18 @@ cpu::Trace cholesky(std::uint64_t n, const CodegenOptions& o) {
     em.exec(12);  // the square root
     em.store(A.at(i, i));
   }
+}
+
+cpu::Trace cholesky(std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  cholesky_into(em, n);
   return em.take();
 }
 
-cpu::Trace lu(std::uint64_t n, const CodegenOptions& o) {
+void lu_into(Emitter& em, std::uint64_t n) {
+  const CodegenOptions& o = em.options();
   DataLayout mem;
   const Matrix A = mem.matrix("A", n, n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   if (!o.vectorize) {
@@ -117,7 +121,7 @@ cpu::Trace lu(std::uint64_t n, const CodegenOptions& o) {
         em.store(A.at(i, j));
       }
     }
-    return em.take();
+    return;
   }
 
   // Vector shape: right-looking update — rank-1 updates of the trailing
@@ -150,15 +154,20 @@ cpu::Trace lu(std::uint64_t n, const CodegenOptions& o) {
           });
     }
   }
+}
+
+cpu::Trace lu(std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  lu_into(em, n);
   return em.take();
 }
 
-cpu::Trace symm(std::uint64_t m, std::uint64_t n, const CodegenOptions& o) {
+void symm_into(Emitter& em, std::uint64_t m, std::uint64_t n) {
+  const CodegenOptions& o = em.options();
   DataLayout mem;
   const Matrix A = mem.matrix("A", m, m);  // symmetric
   const Matrix B = mem.matrix("B", m, n);
   const Matrix C = mem.matrix("C", m, n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   if (!o.vectorize) {
@@ -184,7 +193,7 @@ cpu::Trace symm(std::uint64_t m, std::uint64_t n, const CodegenOptions& o) {
         em.store(C.at(i, j));
       }
     }
-    return em.take();
+    return;
   }
 
   // Vector shape: j widened; B rows unit-stride.
@@ -226,17 +235,21 @@ cpu::Trace symm(std::uint64_t m, std::uint64_t n, const CodegenOptions& o) {
           em.stream_store(C.at(i, j));
         });
   }
+}
+
+cpu::Trace symm(std::uint64_t m, std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  symm_into(em, m, n);
   return em.take();
 }
 
-cpu::Trace doitgen(std::uint64_t nr, std::uint64_t nq, std::uint64_t np,
-                   const CodegenOptions& o) {
+void doitgen_into(Emitter& em, std::uint64_t nr, std::uint64_t nq, std::uint64_t np) {
+  const CodegenOptions& o = em.options();
   DataLayout mem;
   // A is nr x nq x np, flattened row-major; C4 is np x np.
   const Matrix A = mem.matrix("A", nr * nq, np);
   const Matrix C4 = mem.matrix("C4", np, np);
   const Vector sum = mem.vector("sum", np);
-  Emitter em(o);
   const unsigned w = em.width();
 
   for (std::uint64_t r = 0; r < nr; ++r) {
@@ -299,14 +312,18 @@ cpu::Trace doitgen(std::uint64_t nr, std::uint64_t nq, std::uint64_t np,
           });
     }
   }
+}
+
+cpu::Trace doitgen(std::uint64_t nr, std::uint64_t nq, std::uint64_t np, const CodegenOptions& o) {
+  Emitter em(o);
+  doitgen_into(em, nr, nq, np);
   return em.take();
 }
 
-cpu::Trace seidel_2d(std::uint64_t n, std::uint64_t tsteps,
-                     const CodegenOptions& o) {
+void seidel_2d_into(Emitter& em, std::uint64_t n, std::uint64_t tsteps) {
+  const CodegenOptions& o = em.options();
   DataLayout mem;
   const Matrix A = mem.matrix("A", n, n);
-  Emitter em(o);
   // Gauss-Seidel is loop-carried in both i and j: vectorization does not
   // apply (the paper's "others"/prefetch transformations still do).
   for (std::uint64_t t = 0; t < tsteps; ++t) {
@@ -331,16 +348,20 @@ cpu::Trace seidel_2d(std::uint64_t n, std::uint64_t tsteps,
       }
     }
   }
+}
+
+cpu::Trace seidel_2d(std::uint64_t n, std::uint64_t tsteps, const CodegenOptions& o) {
+  Emitter em(o);
+  seidel_2d_into(em, n, tsteps);
   return em.take();
 }
 
-cpu::Trace covariance(std::uint64_t m, std::uint64_t n,
-                      const CodegenOptions& o) {
+void covariance_into(Emitter& em, std::uint64_t m, std::uint64_t n) {
+  const CodegenOptions& o = em.options();
   DataLayout mem;
   const Matrix data = mem.matrix("data", n, m);
   const Matrix cov = mem.matrix("cov", m, m);
   const Vector mean = mem.vector("mean", m);
-  Emitter em(o);
   const unsigned w = em.width();
 
   // Column means.
@@ -433,7 +454,7 @@ cpu::Trace covariance(std::uint64_t m, std::uint64_t n,
         em.store(cov.at(j, i));
       }
     }
-    return em.take();
+    return;
   }
 
   // Vector shape: k outermost — rank-1 accumulation over unit-stride rows
@@ -490,13 +511,18 @@ cpu::Trace covariance(std::uint64_t m, std::uint64_t n,
       em.store(cov.at(j, i));  // transposed copy: column store
     }
   }
+}
+
+cpu::Trace covariance(std::uint64_t m, std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  covariance_into(em, m, n);
   return em.take();
 }
 
-cpu::Trace floyd_warshall(std::uint64_t n, const CodegenOptions& o) {
+void floyd_warshall_into(Emitter& em, std::uint64_t n) {
+  const CodegenOptions& o = em.options();
   DataLayout mem;
   const Matrix path = mem.matrix("path", n, n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   for (std::uint64_t k = 0; k < n; ++k) {
@@ -522,6 +548,11 @@ cpu::Trace floyd_warshall(std::uint64_t n, const CodegenOptions& o) {
           });
     }
   }
+}
+
+cpu::Trace floyd_warshall(std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  floyd_warshall_into(em, n);
   return em.take();
 }
 

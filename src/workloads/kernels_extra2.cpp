@@ -29,12 +29,11 @@ void vloop_range(Emitter& em, std::uint64_t lo, std::uint64_t hi, VecFn vec,
 
 }  // namespace
 
-cpu::Trace durbin(std::uint64_t n, const CodegenOptions& o) {
+void durbin_into(Emitter& em, std::uint64_t n) {
   DataLayout mem;
   const Vector r = mem.vector("r", n);
   const Vector y = mem.vector("y", n);
   const Vector z = mem.vector("z", n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   em.load(r.at(0));
@@ -87,16 +86,20 @@ cpu::Trace durbin(std::uint64_t n, const CodegenOptions& o) {
         });
     em.store(y.at(k));
   }
+}
+
+cpu::Trace durbin(std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  durbin_into(em, n);
   return em.take();
 }
 
-cpu::Trace gramschmidt(std::uint64_t m, std::uint64_t n,
-                       const CodegenOptions& o) {
+void gramschmidt_into(Emitter& em, std::uint64_t m, std::uint64_t n) {
+  const CodegenOptions& o = em.options();
   DataLayout mem;
   const Matrix A = mem.matrix("A", m, n);
   const Matrix R = mem.matrix("R", n, n);
   const Matrix Q = mem.matrix("Q", m, n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   for (std::uint64_t k = 0; k < n; ++k) {
@@ -207,17 +210,21 @@ cpu::Trace gramschmidt(std::uint64_t m, std::uint64_t n,
       }
     }
   }
+}
+
+cpu::Trace gramschmidt(std::uint64_t m, std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  gramschmidt_into(em, m, n);
   return em.take();
 }
 
-cpu::Trace adi(std::uint64_t n, std::uint64_t tsteps,
-               const CodegenOptions& o) {
+void adi_into(Emitter& em, std::uint64_t n, std::uint64_t tsteps) {
+  const CodegenOptions& o = em.options();
   DataLayout mem;
   const Matrix u = mem.matrix("u", n, n);
   const Matrix v = mem.matrix("v", n, n);
   const Matrix p = mem.matrix("p", n, n);
   const Matrix q = mem.matrix("q", n, n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   for (std::uint64_t t = 0; t < tsteps; ++t) {
@@ -286,16 +293,19 @@ cpu::Trace adi(std::uint64_t n, std::uint64_t tsteps,
           });
     }
   }
+}
+
+cpu::Trace adi(std::uint64_t n, std::uint64_t tsteps, const CodegenOptions& o) {
+  Emitter em(o);
+  adi_into(em, n, tsteps);
   return em.take();
 }
 
-cpu::Trace fdtd_2d(std::uint64_t nx, std::uint64_t ny, std::uint64_t tsteps,
-                   const CodegenOptions& o) {
+void fdtd_2d_into(Emitter& em, std::uint64_t nx, std::uint64_t ny, std::uint64_t tsteps) {
   DataLayout mem;
   const Matrix ex = mem.matrix("ex", nx, ny);
   const Matrix ey = mem.matrix("ey", nx, ny);
   const Matrix hz = mem.matrix("hz", nx, ny);
-  Emitter em(o);
   const unsigned w = em.width();
 
   for (std::uint64_t t = 0; t < tsteps; ++t) {
@@ -365,16 +375,19 @@ cpu::Trace fdtd_2d(std::uint64_t nx, std::uint64_t ny, std::uint64_t tsteps,
           });
     }
   }
+}
+
+cpu::Trace fdtd_2d(std::uint64_t nx, std::uint64_t ny, std::uint64_t tsteps, const CodegenOptions& o) {
+  Emitter em(o);
+  fdtd_2d_into(em, nx, ny, tsteps);
   return em.take();
 }
 
-cpu::Trace heat_3d(std::uint64_t n, std::uint64_t tsteps,
-                   const CodegenOptions& o) {
+void heat_3d_into(Emitter& em, std::uint64_t n, std::uint64_t tsteps) {
   DataLayout mem;
   // Flattened n x n x n grids, row-major in the last dimension.
   const Matrix A = mem.matrix("A", n * n, n);
   const Matrix B = mem.matrix("B", n * n, n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   const auto plane = [n](std::uint64_t i, std::uint64_t j) {
@@ -419,6 +432,11 @@ cpu::Trace heat_3d(std::uint64_t n, std::uint64_t tsteps,
     sweep(A, B);
     sweep(B, A);
   }
+}
+
+cpu::Trace heat_3d(std::uint64_t n, std::uint64_t tsteps, const CodegenOptions& o) {
+  Emitter em(o);
+  heat_3d_into(em, n, tsteps);
   return em.take();
 }
 

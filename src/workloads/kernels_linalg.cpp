@@ -29,12 +29,11 @@ void vloop(Emitter& em, std::uint64_t n, VecFn vec, ScalFn scal) {
 
 }  // namespace
 
-cpu::Trace atax(std::uint64_t m, std::uint64_t n, const CodegenOptions& o) {
+void atax_into(Emitter& em, std::uint64_t m, std::uint64_t n) {
   DataLayout mem;
   const Matrix A = mem.matrix("A", m, n);
   const Vector x = mem.vector("x", n);
   const Vector y = mem.vector("y", n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   // for j: y[j] = 0
@@ -75,17 +74,21 @@ cpu::Trace atax(std::uint64_t m, std::uint64_t n, const CodegenOptions& o) {
           em.stream_store(y.at(j));
         });
   }
+}
+
+cpu::Trace atax(std::uint64_t m, std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  atax_into(em, m, n);
   return em.take();
 }
 
-cpu::Trace bicg(std::uint64_t m, std::uint64_t n, const CodegenOptions& o) {
+void bicg_into(Emitter& em, std::uint64_t m, std::uint64_t n) {
   DataLayout mem;
   const Matrix A = mem.matrix("A", m, n);
   const Vector s = mem.vector("s", n);
   const Vector q = mem.vector("q", m);
   const Vector p = mem.vector("p", n);
   const Vector r = mem.vector("r", m);
-  Emitter em(o);
   const unsigned w = em.width();
 
   vloop(
@@ -117,10 +120,16 @@ cpu::Trace bicg(std::uint64_t m, std::uint64_t n, const CodegenOptions& o) {
     if (w > 1) em.flop(2);
     em.store(q.at(i));
   }
+}
+
+cpu::Trace bicg(std::uint64_t m, std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  bicg_into(em, m, n);
   return em.take();
 }
 
-cpu::Trace gemver(std::uint64_t n, const CodegenOptions& o) {
+void gemver_into(Emitter& em, std::uint64_t n) {
+  const CodegenOptions& o = em.options();
   DataLayout mem;
   const Matrix A = mem.matrix("A", n, n);
   const Vector u1 = mem.vector("u1", n);
@@ -131,7 +140,6 @@ cpu::Trace gemver(std::uint64_t n, const CodegenOptions& o) {
   const Vector y = mem.vector("y", n);
   const Vector z = mem.vector("z", n);
   const Vector ww = mem.vector("w", n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   // Phase 1: A += u1 v1^T + u2 v2^T.
@@ -232,16 +240,20 @@ cpu::Trace gemver(std::uint64_t n, const CodegenOptions& o) {
     if (w > 1) em.flop(2);
     em.store(ww.at(i));
   }
+}
+
+cpu::Trace gemver(std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  gemver_into(em, n);
   return em.take();
 }
 
-cpu::Trace gesummv(std::uint64_t n, const CodegenOptions& o) {
+void gesummv_into(Emitter& em, std::uint64_t n) {
   DataLayout mem;
   const Matrix A = mem.matrix("A", n, n);
   const Matrix B = mem.matrix("B", n, n);
   const Vector x = mem.vector("x", n);
   const Vector y = mem.vector("y", n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -265,17 +277,22 @@ cpu::Trace gesummv(std::uint64_t n, const CodegenOptions& o) {
     em.flop(3);  // y[i] = alpha*tmp + beta*yacc
     em.store(y.at(i));
   }
+}
+
+cpu::Trace gesummv(std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  gesummv_into(em, n);
   return em.take();
 }
 
-cpu::Trace mvt(std::uint64_t n, const CodegenOptions& o) {
+void mvt_into(Emitter& em, std::uint64_t n) {
+  const CodegenOptions& o = em.options();
   DataLayout mem;
   const Matrix A = mem.matrix("A", n, n);
   const Vector x1 = mem.vector("x1", n);
   const Vector x2 = mem.vector("x2", n);
   const Vector y1 = mem.vector("y1", n);
   const Vector y2 = mem.vector("y2", n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   // Phase 1: x1 += A y1 (row walk).
@@ -332,15 +349,19 @@ cpu::Trace mvt(std::uint64_t n, const CodegenOptions& o) {
           });
     }
   }
+}
+
+cpu::Trace mvt(std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  mvt_into(em, n);
   return em.take();
 }
 
-cpu::Trace trisolv(std::uint64_t n, const CodegenOptions& o) {
+void trisolv_into(Emitter& em, std::uint64_t n) {
   DataLayout mem;
   const Matrix L = mem.matrix("L", n, n);
   const Vector x = mem.vector("x", n);
   const Vector b = mem.vector("b", n);
-  Emitter em(o);
   const unsigned w = em.width();
 
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -363,6 +384,11 @@ cpu::Trace trisolv(std::uint64_t n, const CodegenOptions& o) {
     em.exec(8);  // the division
     em.store(x.at(i));
   }
+}
+
+cpu::Trace trisolv(std::uint64_t n, const CodegenOptions& o) {
+  Emitter em(o);
+  trisolv_into(em, n);
   return em.take();
 }
 

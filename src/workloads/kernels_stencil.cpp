@@ -79,31 +79,37 @@ void sweep_2d(Emitter& em, const Matrix& src, const Matrix& dst,
 
 }  // namespace
 
-cpu::Trace jacobi_1d(std::uint64_t n, std::uint64_t tsteps,
-                     const CodegenOptions& o) {
+void jacobi_1d_into(Emitter& em, std::uint64_t n, std::uint64_t tsteps) {
   DataLayout mem;
   const Vector A = mem.vector("A", n);
   const Vector B = mem.vector("B", n);
-  Emitter em(o);
   for (std::uint64_t t = 0; t < tsteps; ++t) {
     em.loop_iter();
     sweep_1d(em, A, B, n);
     sweep_1d(em, B, A, n);
   }
+}
+
+cpu::Trace jacobi_1d(std::uint64_t n, std::uint64_t tsteps, const CodegenOptions& o) {
+  Emitter em(o);
+  jacobi_1d_into(em, n, tsteps);
   return em.take();
 }
 
-cpu::Trace jacobi_2d(std::uint64_t n, std::uint64_t tsteps,
-                     const CodegenOptions& o) {
+void jacobi_2d_into(Emitter& em, std::uint64_t n, std::uint64_t tsteps) {
   DataLayout mem;
   const Matrix A = mem.matrix("A", n, n);
   const Matrix B = mem.matrix("B", n, n);
-  Emitter em(o);
   for (std::uint64_t t = 0; t < tsteps; ++t) {
     em.loop_iter();
     sweep_2d(em, A, B, n);
     sweep_2d(em, B, A, n);
   }
+}
+
+cpu::Trace jacobi_2d(std::uint64_t n, std::uint64_t tsteps, const CodegenOptions& o) {
+  Emitter em(o);
+  jacobi_2d_into(em, n, tsteps);
   return em.take();
 }
 

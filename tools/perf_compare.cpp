@@ -26,6 +26,7 @@
 // section simply contributes no store metrics). The parser is deliberately
 // minimal — it understands exactly the flat key layout perf_smoke emits,
 // keeping the tool dependency-free.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -236,7 +237,14 @@ int main(int argc, char** argv) {
     }
     compared += 1;
     const double ratio = c->value / b.value;
-    const bool bad = ratio < 1.0 - tolerance;
+    // Store warm-speedups are ratios near 10^4 whose denominator is a
+    // sub-millisecond warm pass: scheduler noise moves them +/-15% run to
+    // run even with batched best-of-N timing, so they are guarded against
+    // collapse (a broken store drops them by orders of magnitude), not
+    // against point noise. Every other metric keeps the tight band.
+    const double tol =
+        b.name.rfind("store:", 0) == 0 ? std::max(tolerance, 0.50) : tolerance;
+    const bool bad = ratio < 1.0 - tol;
     regressed += bad ? 1 : 0;
     std::printf("%-34s %12.3g -> %12.3g ops/s  %+6.1f%%%s\n", b.name.c_str(),
                 b.value, c->value, (ratio - 1.0) * 100.0,
